@@ -1,0 +1,166 @@
+package memdep_test
+
+import (
+	"testing"
+
+	"memdep/internal/experiments"
+	"memdep/internal/memdep"
+	"memdep/internal/multiscalar"
+	"memdep/internal/policy"
+	"memdep/internal/trace"
+	"memdep/internal/window"
+	"memdep/internal/workload"
+)
+
+// benchExperiment runs one named experiment end-to-end (workload
+// construction, functional simulation, timing simulation, table formatting)
+// on the truncated "quick" configuration.  There is one benchmark per table
+// and figure of the paper.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runner := experiments.NewRunner(experiments.Quick())
+		tab, err := exp.Run(runner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tab.NumRows() == 0 {
+			b.Fatal("experiment produced an empty table")
+		}
+	}
+}
+
+// Table 1: committed dynamic instruction counts.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// Table 3: unrealistic OOO model, mis-speculations vs window size.
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// Table 4: static dependences covering 99.9% of mis-speculations.
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+
+// Table 5: DDC miss rates under the unrealistic OOO model.
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// Table 6: Multiscalar mis-speculations under blind speculation.
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+
+// Table 7: 8-stage Multiscalar DDC miss rates.
+func BenchmarkTable7(b *testing.B) { benchExperiment(b, "table7") }
+
+// Table 8: dependence prediction breakdown.
+func BenchmarkTable8(b *testing.B) { benchExperiment(b, "table8") }
+
+// Table 9: mis-speculations per committed load.
+func BenchmarkTable9(b *testing.B) { benchExperiment(b, "table9") }
+
+// Figure 5: NEVER/ALWAYS/WAIT/PSYNC policy comparison.
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, "figure5") }
+
+// Figure 6: SYNC/ESYNC/PSYNC speedups over blind speculation.
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "figure6") }
+
+// Figure 7: SPEC95 speedups on the 8-stage configuration.
+func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "figure7") }
+
+// Ablation benches for the design choices called out in DESIGN.md.
+func BenchmarkAblationTagging(b *testing.B)   { benchExperiment(b, "ablation-tagging") }
+func BenchmarkAblationPredictor(b *testing.B) { benchExperiment(b, "ablation-predictor") }
+func BenchmarkAblationTableSize(b *testing.B) { benchExperiment(b, "ablation-tablesize") }
+
+// --- component micro-benchmarks ---------------------------------------------
+
+// BenchmarkFunctionalSimulator measures the functional simulator on the
+// compress stand-in (instructions per op reported through b.N scaling).
+func BenchmarkFunctionalSimulator(b *testing.B) {
+	prog := workload.MustGet("compress").Build(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Run(prog, trace.Config{MaxInstructions: 50_000}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWindowAnalysis measures the unrealistic OOO dependence analysis.
+func BenchmarkWindowAnalysis(b *testing.B) {
+	prog := workload.MustGet("espresso").Build(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := window.Analyze(prog, window.Config{
+			Trace: trace.Config{MaxInstructions: 50_000},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimingSimulator measures the Multiscalar timing simulator with the
+// ESYNC mechanism on the xlisp stand-in.
+func BenchmarkTimingSimulator(b *testing.B) {
+	item, err := multiscalar.Preprocess(workload.MustGet("xlisp").Build(1),
+		trace.Config{MaxInstructions: 50_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := multiscalar.DefaultConfig(8, policy.ESync)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := multiscalar.Simulate(item, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMDPTLookup measures prediction-table lookups on a warm table.
+func BenchmarkMDPTLookup(b *testing.B) {
+	t := memdep.NewMDPT(memdep.Config{Entries: 64, SyncSlots: 8})
+	for i := 0; i < 64; i++ {
+		t.RecordMisspeculation(memdep.PairKey{LoadPC: uint64(0x1000 + 4*i), StorePC: uint64(0x2000 + 4*i)}, 1, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.MatchesForLoad(uint64(0x1000 + 4*(i%64)))
+	}
+}
+
+// BenchmarkMDSTSynchronize measures a full wait/signal round trip.
+func BenchmarkMDSTSynchronize(b *testing.B) {
+	t := memdep.NewMDST(512)
+	pair := memdep.PairKey{LoadPC: 0x400, StorePC: 0x380}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		inst := uint64(i)
+		t.AllocWaiting(pair, inst, int64(i))
+		t.Signal(pair, inst, int64(i))
+	}
+}
+
+// BenchmarkDDCAccess measures data dependence cache accesses with a working
+// set slightly larger than the cache.
+func BenchmarkDDCAccess(b *testing.B) {
+	d := memdep.NewDDC(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Access(memdep.PairKey{LoadPC: uint64(i % 160), StorePC: uint64(i % 40)})
+	}
+}
+
+// BenchmarkWorkloadBuild measures synthetic program construction.
+func BenchmarkWorkloadBuild(b *testing.B) {
+	w := workload.MustGet("126.gcc")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := w.Build(1)
+		if p.Len() == 0 {
+			b.Fatal("empty program")
+		}
+	}
+}

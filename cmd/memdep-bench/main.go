@@ -1,0 +1,81 @@
+// Command memdep-bench regenerates the tables and figures of the paper's
+// evaluation on the synthetic workload suite.
+//
+// Usage:
+//
+//	memdep-bench                     # run every experiment at full scale
+//	memdep-bench -quick              # truncated runs (fast sanity check)
+//	memdep-bench -experiment table3  # run a single experiment
+//	memdep-bench -list               # list experiment identifiers
+//	memdep-bench -csv                # emit CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"memdep/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id to run (see -list), or \"all\"")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		quick      = flag.Bool("quick", false, "run truncated workloads (fast)")
+		scale      = flag.Int("scale", 0, "override workload scale (0 = per-benchmark default)")
+		maxInstr   = flag.Uint64("max-instructions", 0, "cap committed instructions per benchmark (0 = unlimited)")
+		entries    = flag.Int("mdpt-entries", 64, "MDPT entries")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	opts := experiments.Full()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *maxInstr > 0 {
+		opts.MaxInstructions = *maxInstr
+	}
+	opts.MDPTEntries = *entries
+	runner := experiments.NewRunner(opts)
+
+	var selected []experiments.NamedExperiment
+	if *experiment == "all" {
+		selected = experiments.All()
+	} else {
+		e, err := experiments.Lookup(*experiment)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "use -list to see the available experiments")
+			os.Exit(1)
+		}
+		selected = []experiments.NamedExperiment{e}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", e.ID, tab.CSV())
+		} else {
+			fmt.Println(tab.Render())
+			fmt.Printf("[%s completed in %.2fs]\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command memdep-sim runs a single benchmark on a single Multiscalar
+// configuration and prints the timing and dependence statistics.
+//
+// Usage:
+//
+//	memdep-sim -bench compress -stages 8 -policy ESYNC
+//	memdep-sim -bench 101.tomcatv -policy ALWAYS -max-instructions 200000
+//	memdep-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"memdep/internal/memdep"
+	"memdep/internal/multiscalar"
+	"memdep/internal/policy"
+	"memdep/internal/trace"
+	"memdep/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "compress", "benchmark name")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		stages   = flag.Int("stages", 8, "number of processing units")
+		polName  = flag.String("policy", "ESYNC", "speculation policy (NEVER, ALWAYS, WAIT, PSYNC, SYNC, ESYNC)")
+		scale    = flag.Int("scale", 0, "workload scale (0 = benchmark default)")
+		maxInstr = flag.Uint64("max-instructions", 0, "cap committed instructions (0 = unlimited)")
+		entries  = flag.Int("mdpt-entries", 64, "MDPT entries")
+		topPairs = flag.Int("top-pairs", 5, "print the N most frequently mis-speculated static pairs")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			w := workload.MustGet(name)
+			fmt.Printf("%-14s (%s, default scale %d)\n", name, w.Suite, w.DefaultScale)
+		}
+		return
+	}
+
+	wl, err := workload.Get(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pol, err := policy.Parse(*polName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s := *scale
+	if s <= 0 {
+		s = wl.DefaultScale
+	}
+	prog := wl.Build(s)
+
+	item, err := multiscalar.Preprocess(prog, trace.Config{MaxInstructions: *maxInstr})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := multiscalar.DefaultConfig(*stages, pol)
+	cfg.MemDep.Entries = *entries
+	res, err := multiscalar.Simulate(item, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark        %s (scale %d)\n", *bench, s)
+	fmt.Printf("configuration    %d stages, policy %v, %d MDPT entries\n", *stages, pol, *entries)
+	fmt.Printf("instructions     %d (%d loads, %d stores, %d tasks, %.1f instr/task)\n",
+		res.Instructions, res.Loads, res.Stores, res.Tasks, item.AvgTaskSize())
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	fmt.Printf("IPC              %.3f\n", res.IPC())
+	fmt.Printf("mis-speculations %d (%.4f per committed load)\n",
+		res.Misspeculations, res.MisspecsPerCommittedLoad())
+	fmt.Printf("squashes         %d (%d instructions of work discarded)\n",
+		res.Squashes, res.SquashedInstructions)
+	fmt.Printf("loads delayed    %d (%d cycles total, %d released without a signal)\n",
+		res.LoadsWaited, res.WaitCycles, res.FalseDependenceReleases)
+	if pol.UsesPredictor() {
+		fmt.Printf("prediction breakdown (P/A %% of loads): N/N %.2f  N/Y %.2f  Y/N %.2f  Y/Y %.2f\n",
+			res.Breakdown.Percent(0, 0), res.Breakdown.Percent(0, 1),
+			res.Breakdown.Percent(1, 0), res.Breakdown.Percent(1, 1))
+		fmt.Printf("MDPT/MDST        %d mis-speculations learned, %d loads made to wait, %d released by stores\n",
+			res.MemDep.Misspeculations, res.MemDep.LoadsMadeToWait, res.MemDep.LoadsReleasedByStore)
+	}
+	fmt.Printf("memory           %d data accesses (%d misses), %d instruction misses, %d bus transfers\n",
+		res.Cache.DataAccesses, res.Cache.DataMisses, res.Cache.InstrMisses, res.Cache.BusTransfers)
+	fmt.Printf("sequencer        %d dispatches, %d mispredictions (%.1f%% accuracy)\n",
+		res.Sequencer.TaskDispatches, res.Sequencer.Mispredictions, res.Sequencer.PredictorAcc*100)
+
+	if *topPairs > 0 && len(res.MisspecPairs) > 0 {
+		type pairCount struct {
+			pair memdep.PairKey
+			n    uint64
+		}
+		pairs := make([]pairCount, 0, len(res.MisspecPairs))
+		for k, v := range res.MisspecPairs {
+			pairs = append(pairs, pairCount{k, v})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].n > pairs[j].n })
+		fmt.Printf("hottest mis-speculated static pairs:\n")
+		for i, pc := range pairs {
+			if i >= *topPairs {
+				break
+			}
+			si, li := prog.Index(pc.pair.StorePC), prog.Index(pc.pair.LoadPC)
+			fmt.Printf("  %6d  store @%d (%s)  ->  load @%d (%s)\n",
+				pc.n, si, prog.Code[si], li, prog.Code[li])
+		}
+	}
+}

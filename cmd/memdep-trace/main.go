@@ -1,0 +1,152 @@
+// Command memdep-trace inspects the synthetic workloads: it can disassemble a
+// benchmark, summarise its committed instruction stream, report its dynamic
+// task structure, and profile its memory dependences under the unrealistic
+// OOO window model of the paper's section 5.3.
+//
+// Usage:
+//
+//	memdep-trace -bench compress -mode summary
+//	memdep-trace -bench espresso -mode disasm | head -50
+//	memdep-trace -bench sc -mode deps -window 64
+//	memdep-trace -bench xlisp -mode tasks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"memdep/internal/memdep"
+	"memdep/internal/stats"
+	"memdep/internal/trace"
+	"memdep/internal/window"
+	"memdep/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "compress", "benchmark name")
+		mode     = flag.String("mode", "summary", "one of: summary, disasm, deps, tasks")
+		scale    = flag.Int("scale", 0, "workload scale (0 = benchmark default)")
+		maxInstr = flag.Uint64("max-instructions", 0, "cap committed instructions (0 = unlimited)")
+		ws       = flag.Int("window", 64, "window size for -mode deps")
+		top      = flag.Int("top", 10, "number of hottest dependences to print for -mode deps")
+	)
+	flag.Parse()
+
+	wl, err := workload.Get(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s := *scale
+	if s <= 0 {
+		s = wl.DefaultScale
+	}
+	prog := wl.Build(s)
+	traceCfg := trace.Config{MaxInstructions: *maxInstr}
+
+	switch *mode {
+	case "disasm":
+		fmt.Print(prog.Disassemble())
+
+	case "summary":
+		st, err := trace.Run(prog, traceCfg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark     %s (%s)\n", wl.Name, wl.Suite)
+		fmt.Printf("description   %s\n", wl.Description)
+		fmt.Printf("static size   %d instructions, %d loads, %d stores\n",
+			prog.Len(), len(prog.StaticLoads()), len(prog.StaticStores()))
+		fmt.Printf("dynamic size  %d instructions (%d loads, %d stores, %d branches)\n",
+			st.Instructions, st.Loads, st.Stores, st.Branches)
+		fmt.Printf("tasks         %d (%.1f instructions per task)\n",
+			st.Tasks, float64(st.Instructions)/float64(st.Tasks))
+
+	case "tasks":
+		sizes := map[uint64]uint64{}
+		var current uint64
+		var count uint64
+		_, err := trace.Run(prog, traceCfg, func(d trace.DynInst) bool {
+			if d.TaskStart && count > 0 {
+				sizes[current] = count
+				count = 0
+			}
+			current = d.TaskID
+			count++
+			return true
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if count > 0 {
+			sizes[current] = count
+		}
+		hist := map[string]int{}
+		buckets := []struct {
+			label string
+			max   uint64
+		}{
+			{"1-16", 16}, {"17-32", 32}, {"33-64", 64}, {"65-128", 128},
+			{"129-256", 256}, {"257-512", 512}, {"513+", ^uint64(0)},
+		}
+		for _, n := range sizes {
+			for _, b := range buckets {
+				if n <= b.max {
+					hist[b.label]++
+					break
+				}
+			}
+		}
+		t := stats.NewTable(fmt.Sprintf("dynamic task sizes for %s", wl.Name), "size", "tasks")
+		for _, b := range buckets {
+			t.AddRow(b.label, fmt.Sprint(hist[b.label]))
+		}
+		fmt.Print(t.Render())
+
+	case "deps":
+		results, err := window.Analyze(prog, window.Config{
+			WindowSizes: []int{*ws},
+			DDCSizes:    window.DefaultDDCSizes(),
+			Trace:       traceCfg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res := results[0]
+		fmt.Printf("window size %d: %d loads, %d worst-case mis-speculations (%.4f per load)\n",
+			res.WindowSize, res.Loads, res.Misspeculations, res.MisspecRate())
+		fmt.Printf("static dependences: %d total, %d cover 99.9%% of mis-speculations\n",
+			res.StaticPairs, res.PairsForCoverage)
+		for _, cs := range window.DefaultDDCSizes() {
+			fmt.Printf("DDC %4d entries: %.2f%% miss rate\n", cs, res.DDCMissRate[cs])
+		}
+		type pairCount struct {
+			pair memdep.PairKey
+			n    uint64
+		}
+		pairs := make([]pairCount, 0, len(res.PairCounts))
+		for k, v := range res.PairCounts {
+			pairs = append(pairs, pairCount{k, v})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].n > pairs[j].n })
+		fmt.Println("hottest static dependences:")
+		for i, pc := range pairs {
+			if i >= *top {
+				break
+			}
+			si, li := prog.Index(pc.pair.StorePC), prog.Index(pc.pair.LoadPC)
+			fmt.Printf("  %7d  store @%d (%s)  ->  load @%d (%s)\n",
+				pc.n, si, prog.Code[si], li, prog.Code[li])
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (want summary, disasm, deps or tasks)\n", *mode)
+		os.Exit(1)
+	}
+}

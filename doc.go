@@ -1,0 +1,17 @@
+// Package memdep is the root of a reproduction of "Dynamic Speculation and
+// Synchronization of Data Dependences" (Moshovos, Breach, Vijaykumar, Sohi;
+// ISCA 1997).
+//
+// The library lives under internal/: the MDPT/MDST dependence prediction and
+// synchronization structures (internal/memdep), the synthetic workload suite
+// and its ISA (internal/isa, internal/program, internal/workload), the
+// functional simulator (internal/trace), the unrealistic OOO window model
+// (internal/window), the Multiscalar timing simulator and its substrates
+// (internal/multiscalar, internal/arb, internal/cache, internal/ctrlflow),
+// the speculation policies (internal/policy) and the experiment drivers that
+// regenerate every table and figure of the paper (internal/experiments).
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the measured results; cmd/memdep-bench regenerates the
+// latter.
+package memdep

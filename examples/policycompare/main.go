@@ -1,0 +1,62 @@
+// Policycompare reproduces, for a single benchmark, the policy comparison of
+// Figures 5 and 6 of the paper: NEVER, ALWAYS (blind), WAIT (selective),
+// PSYNC (ideal), and the MDPT/MDST mechanism with the SYNC and ESYNC
+// predictors, on 4- and 8-stage Multiscalar processors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"memdep/internal/multiscalar"
+	"memdep/internal/policy"
+	"memdep/internal/stats"
+	"memdep/internal/trace"
+	"memdep/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "sc", "benchmark to compare policies on")
+	maxInstr := flag.Uint64("max-instructions", 150_000, "cap on committed instructions")
+	flag.Parse()
+
+	wl, err := workload.Get(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	item, err := multiscalar.Preprocess(wl.Build(wl.DefaultScale), trace.Config{MaxInstructions: *maxInstr})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	table := stats.NewTable(
+		fmt.Sprintf("Dependence speculation policies on %s (%d instructions)", wl.Name, item.Instructions),
+		"stages", "policy", "IPC", "speedup vs NEVER", "misspec/load", "loads delayed")
+
+	for _, stages := range []int{4, 8} {
+		var never multiscalar.Result
+		for _, pol := range policy.All() {
+			res, err := multiscalar.Simulate(item, multiscalar.DefaultConfig(stages, pol))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if pol == policy.Never {
+				never = res
+			}
+			table.AddRow(
+				fmt.Sprint(stages),
+				pol.String(),
+				stats.FormatFloat(res.IPC(), 2),
+				stats.FormatSpeedup(res.SpeedupOver(never)),
+				stats.FormatFloat(res.MisspecsPerCommittedLoad(), 4),
+				fmt.Sprint(res.LoadsWaited),
+			)
+		}
+	}
+	fmt.Print(table.Render())
+	fmt.Println("\nPolicy descriptions:")
+	for _, pol := range policy.All() {
+		fmt.Printf("  %-7s %s\n", pol, pol.Description())
+	}
+}

@@ -1,0 +1,60 @@
+// Windowstudy reproduces the dependence-behaviour characterisation of
+// section 5.3 of the paper (Tables 3-5) for one benchmark: how the number of
+// worst-case mis-speculations grows with the instruction window, how few
+// static store→load pairs account for them, and how well small data
+// dependence caches capture those pairs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"memdep/internal/stats"
+	"memdep/internal/trace"
+	"memdep/internal/window"
+	"memdep/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "compress", "benchmark to analyse")
+	maxInstr := flag.Uint64("max-instructions", 300_000, "cap on committed instructions")
+	flag.Parse()
+
+	wl, err := workload.Get(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := wl.Build(wl.DefaultScale)
+
+	results, err := window.Analyze(prog, window.Config{
+		WindowSizes: window.DefaultWindowSizes(),
+		DDCSizes:    window.DefaultDDCSizes(),
+		Trace:       trace.Config{MaxInstructions: *maxInstr},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	table := stats.NewTable(
+		fmt.Sprintf("Unrealistic OOO model: memory dependence behaviour of %s", wl.Name),
+		"window", "misspecs", "misspec/load", "static pairs", "pairs for 99.9%",
+		"DDC-32 miss%", "DDC-128 miss%", "DDC-512 miss%")
+	for _, r := range results {
+		table.AddRow(
+			fmt.Sprint(r.WindowSize),
+			stats.FormatCount(r.Misspeculations),
+			stats.FormatFloat(r.MisspecRate(), 4),
+			fmt.Sprint(r.StaticPairs),
+			fmt.Sprint(r.PairsForCoverage),
+			stats.FormatPercent(r.DDCMissRate[32]),
+			stats.FormatPercent(r.DDCMissRate[128]),
+			stats.FormatPercent(r.DDCMissRate[512]),
+		)
+	}
+	fmt.Print(table.Render())
+	fmt.Println("\nObservations to compare against the paper:")
+	fmt.Println("  * mis-speculations grow sharply as the window widens (Table 3);")
+	fmt.Println("  * a handful of static pairs covers 99.9% of them (Table 4);")
+	fmt.Println("  * moderate DDCs capture most of those pairs (Table 5).")
+}

@@ -1,0 +1,247 @@
+// Package arb implements an Address Resolution Buffer in the style of
+// Franklin and Sohi (reference [8] of the paper), the hardware that a
+// Multiscalar processor uses to detect memory dependence mis-speculations
+// among concurrently executing tasks.
+//
+// The ARB tracks, per data address, which in-flight tasks have loaded or
+// stored the address and in what order within each task.  When a store from
+// an older task executes, any younger task that has already performed an
+// "exposed" load of the same address (a load not preceded, within its own
+// task, by a store to that address) has consumed a stale value: a
+// mis-speculation is signalled and the younger task (and its successors) must
+// be squashed.
+//
+// The buffer is organised in banks indexed by block address; each bank has a
+// bounded number of address entries, mirroring the 32-entry-per-bank
+// configuration of section 5.2.  When a bank is full, new addresses cannot be
+// tracked and the requesting memory operation must stall until space frees up
+// (entries are reclaimed when tasks commit or are squashed).
+package arb
+
+import "sort"
+
+// Violation describes a detected memory dependence mis-speculation.
+type Violation struct {
+	// Addr is the conflicting data address.
+	Addr uint64
+	// StoreTask is the (older) task whose store detected the violation.
+	StoreTask uint64
+	// LoadTask is the (younger) task that performed the premature load.
+	LoadTask uint64
+	// LoadPC is the program counter of the first exposed load of Addr in
+	// LoadTask (used to index the dependence prediction table).
+	LoadPC uint64
+}
+
+// taskAccess records how one task has touched one address.
+type taskAccess struct {
+	exposedLoad bool   // the task loaded the address before storing to it
+	loadPC      uint64 // PC of the first exposed load
+	stored      bool   // the task has stored to the address
+}
+
+// entry tracks one data address.
+type entry struct {
+	addr  uint64
+	tasks map[uint64]*taskAccess // taskID -> access summary
+}
+
+// Config describes the ARB geometry.
+type Config struct {
+	// Banks is the number of ARB banks (the paper uses twice the number of
+	// processing units, matching the data cache banks).
+	Banks int
+	// EntriesPerBank is the number of addresses each bank can track (32).
+	EntriesPerBank int
+	// BlockSize is the interleaving granularity in bytes (64).
+	BlockSize int
+}
+
+// DefaultConfig returns the paper's ARB configuration for the given number of
+// processing units.
+func DefaultConfig(units int) Config {
+	if units < 1 {
+		units = 1
+	}
+	return Config{Banks: 2 * units, EntriesPerBank: 32, BlockSize: 64}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Banks <= 0 {
+		c.Banks = 8
+	}
+	if c.EntriesPerBank <= 0 {
+		c.EntriesPerBank = 32
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 64
+	}
+	return c
+}
+
+// ARB is the address resolution buffer.
+type ARB struct {
+	cfg   Config
+	banks []map[uint64]*entry
+
+	loads      uint64
+	stores     uint64
+	violations uint64
+	stallsFull uint64
+}
+
+// New creates an ARB with the given configuration.
+func New(cfg Config) *ARB {
+	cfg = cfg.withDefaults()
+	a := &ARB{cfg: cfg}
+	a.banks = make([]map[uint64]*entry, cfg.Banks)
+	for i := range a.banks {
+		a.banks[i] = make(map[uint64]*entry, cfg.EntriesPerBank)
+	}
+	return a
+}
+
+// Config returns the effective configuration.
+func (a *ARB) Config() Config { return a.cfg }
+
+func (a *ARB) bankOf(addr uint64) int {
+	return int((addr / uint64(a.cfg.BlockSize)) % uint64(len(a.banks)))
+}
+
+// lookup finds or allocates the entry for addr.  It returns nil when the bank
+// is full and the address is not yet tracked.
+func (a *ARB) lookup(addr uint64, alloc bool) *entry {
+	b := a.banks[a.bankOf(addr)]
+	if e, ok := b[addr]; ok {
+		return e
+	}
+	if !alloc {
+		return nil
+	}
+	if len(b) >= a.cfg.EntriesPerBank {
+		return nil
+	}
+	e := &entry{addr: addr, tasks: make(map[uint64]*taskAccess, 4)}
+	b[addr] = e
+	return e
+}
+
+// Load records a load of addr by taskID.  ok is false when the ARB bank is
+// full and the access must stall; the caller should retry later.
+func (a *ARB) Load(addr uint64, taskID uint64, loadPC uint64) (ok bool) {
+	e := a.lookup(addr, true)
+	if e == nil {
+		a.stallsFull++
+		return false
+	}
+	a.loads++
+	ta := e.tasks[taskID]
+	if ta == nil {
+		ta = &taskAccess{}
+		e.tasks[taskID] = ta
+	}
+	if !ta.stored && !ta.exposedLoad {
+		ta.exposedLoad = true
+		ta.loadPC = loadPC
+	}
+	return true
+}
+
+// Store records a store of addr by taskID and returns any mis-speculation it
+// exposes: the youngest-preceding rule of the ARB scans younger tasks in
+// ascending order and reports the first task with an exposed load of addr,
+// unless an intervening younger task has already stored to addr (in which
+// case later tasks read that closer version and are safe).  ok is false when
+// the ARB bank is full and the store must stall.
+func (a *ARB) Store(addr uint64, taskID uint64) (v *Violation, ok bool) {
+	e := a.lookup(addr, true)
+	if e == nil {
+		a.stallsFull++
+		return nil, false
+	}
+	a.stores++
+	ta := e.tasks[taskID]
+	if ta == nil {
+		ta = &taskAccess{}
+		e.tasks[taskID] = ta
+	}
+	ta.stored = true
+
+	// Scan younger tasks in ascending order.
+	younger := make([]uint64, 0, len(e.tasks))
+	for id := range e.tasks {
+		if id > taskID {
+			younger = append(younger, id)
+		}
+	}
+	sort.Slice(younger, func(i, j int) bool { return younger[i] < younger[j] })
+	for _, id := range younger {
+		acc := e.tasks[id]
+		if acc.exposedLoad {
+			a.violations++
+			return &Violation{Addr: addr, StoreTask: taskID, LoadTask: id, LoadPC: acc.loadPC}, true
+		}
+		if acc.stored {
+			// The younger task produced its own version; tasks beyond it are
+			// insulated from this store.
+			break
+		}
+	}
+	return nil, true
+}
+
+// CommitTask discards the bookkeeping of a task that has committed.  Empty
+// address entries are reclaimed.
+func (a *ARB) CommitTask(taskID uint64) {
+	a.dropTask(taskID)
+}
+
+// SquashTask discards the bookkeeping of a task that has been squashed (its
+// accesses never happened as far as the ARB is concerned; the re-execution
+// will re-insert them).
+func (a *ARB) SquashTask(taskID uint64) {
+	a.dropTask(taskID)
+}
+
+func (a *ARB) dropTask(taskID uint64) {
+	for _, bank := range a.banks {
+		for addr, e := range bank {
+			if _, ok := e.tasks[taskID]; ok {
+				delete(e.tasks, taskID)
+				if len(e.tasks) == 0 {
+					delete(bank, addr)
+				}
+			}
+		}
+	}
+}
+
+// Entries returns the total number of addresses currently tracked.
+func (a *ARB) Entries() int {
+	n := 0
+	for _, b := range a.banks {
+		n += len(b)
+	}
+	return n
+}
+
+// Stats summarises ARB activity.
+type Stats struct {
+	Loads      uint64
+	Stores     uint64
+	Violations uint64
+	StallsFull uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (a *ARB) Stats() Stats {
+	return Stats{Loads: a.loads, Stores: a.stores, Violations: a.violations, StallsFull: a.stallsFull}
+}
+
+// Reset clears all entries and counters.
+func (a *ARB) Reset() {
+	for i := range a.banks {
+		a.banks[i] = make(map[uint64]*entry, a.cfg.EntriesPerBank)
+	}
+	a.loads, a.stores, a.violations, a.stallsFull = 0, 0, 0, 0
+}

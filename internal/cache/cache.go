@@ -1,0 +1,146 @@
+// Package cache models the memory hierarchy of the simulated Multiscalar
+// processor: per-processing-unit instruction caches, a banked, interleaved
+// data cache shared by all units through a crossbar, and the single
+// split-transaction memory bus they contend for.  The structural parameters
+// default to the configuration in section 5.2 of the paper.
+//
+// The models are timing models: they answer "at which cycle does this access
+// complete" and keep hit/miss statistics.  Data values are irrelevant (the
+// functional simulator in internal/trace is the reference for values).
+package cache
+
+import "fmt"
+
+// SetAssoc is a set-associative cache tag array with LRU replacement.  It
+// tracks presence of block addresses only.
+type SetAssoc struct {
+	sets      int
+	ways      int
+	blockBits uint
+	clock     uint64
+	tags      [][]tagEntry
+
+	hits   uint64
+	misses uint64
+}
+
+type tagEntry struct {
+	valid   bool
+	tag     uint64
+	lastUse uint64
+}
+
+// NewSetAssoc constructs a cache with the given total size, associativity and
+// block size (all in bytes).  Size must be a multiple of ways*blockSize.
+func NewSetAssoc(sizeBytes, ways, blockSize int) (*SetAssoc, error) {
+	if sizeBytes <= 0 || ways <= 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry (%d,%d,%d)", sizeBytes, ways, blockSize)
+	}
+	if blockSize&(blockSize-1) != 0 {
+		return nil, fmt.Errorf("cache: block size %d is not a power of two", blockSize)
+	}
+	sets := sizeBytes / (ways * blockSize)
+	if sets <= 0 || sizeBytes%(ways*blockSize) != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible into %d-way sets of %d-byte blocks",
+			sizeBytes, ways, blockSize)
+	}
+	blockBits := uint(0)
+	for 1<<blockBits < blockSize {
+		blockBits++
+	}
+	c := &SetAssoc{sets: sets, ways: ways, blockBits: blockBits}
+	c.tags = make([][]tagEntry, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]tagEntry, ways)
+	}
+	return c, nil
+}
+
+// MustNewSetAssoc is like NewSetAssoc but panics on error (for fixed
+// configurations).
+func MustNewSetAssoc(sizeBytes, ways, blockSize int) *SetAssoc {
+	c, err := NewSetAssoc(sizeBytes, ways, blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// BlockSize returns the block size in bytes.
+func (c *SetAssoc) BlockSize() int { return 1 << c.blockBits }
+
+func (c *SetAssoc) index(addr uint64) (set int, tag uint64) {
+	block := addr >> c.blockBits
+	return int(block % uint64(c.sets)), block / uint64(c.sets)
+}
+
+// Access looks up the block containing addr, allocating it on a miss (and
+// evicting the LRU way if necessary).  It returns true on a hit.
+func (c *SetAssoc) Access(addr uint64) bool {
+	c.clock++
+	set, tag := c.index(addr)
+	ways := c.tags[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lastUse = c.clock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lastUse < ways[victim].lastUse {
+			victim = i
+		}
+	}
+	ways[victim] = tagEntry{valid: true, tag: tag, lastUse: c.clock}
+	return false
+}
+
+// Probe reports whether the block containing addr is present without
+// modifying any state.
+func (c *SetAssoc) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, w := range c.tags[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Hits returns the number of hits so far.
+func (c *SetAssoc) Hits() uint64 { return c.hits }
+
+// Misses returns the number of misses so far.
+func (c *SetAssoc) Misses() uint64 { return c.misses }
+
+// MissRate returns the miss fraction in [0,1].
+func (c *SetAssoc) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// Reset clears contents and statistics.
+func (c *SetAssoc) Reset() {
+	for i := range c.tags {
+		for j := range c.tags[i] {
+			c.tags[i][j] = tagEntry{}
+		}
+	}
+	c.clock, c.hits, c.misses = 0, 0, 0
+}

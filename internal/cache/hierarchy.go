@@ -1,0 +1,243 @@
+package cache
+
+// Config describes the memory hierarchy, defaulting to the configuration of
+// section 5.2 of the paper.
+type Config struct {
+	// Units is the number of processing units; the data cache has twice as
+	// many interleaved banks.
+	Units int
+	// ICacheSize, ICacheWays, ICacheBlock configure the per-unit instruction
+	// cache (32 KB, 2-way, 64-byte blocks).
+	ICacheSize  int
+	ICacheWays  int
+	ICacheBlock int
+	// DBankSize, DBankWays, DBankBlock configure each data bank (8 KB direct
+	// mapped, 64-byte blocks).
+	DBankSize  int
+	DBankWays  int
+	DBankBlock int
+	// DHitLatency is the data bank hit time in cycles (2).
+	DHitLatency int
+	// IHitLatency is the instruction cache hit time in cycles (1).
+	IHitLatency int
+	// MissPenalty is the additional latency of a miss before bus transfer
+	// (10+3 cycles in the paper).
+	MissPenalty int
+	// BusOccupancy is the number of cycles a miss occupies the shared bus
+	// (one 4-word transfer on the 4-word split-transaction bus).
+	BusOccupancy int
+}
+
+// DefaultConfig returns the paper's memory configuration for the given number
+// of processing units.
+func DefaultConfig(units int) Config {
+	if units < 1 {
+		units = 1
+	}
+	return Config{
+		Units:        units,
+		ICacheSize:   32 * 1024,
+		ICacheWays:   2,
+		ICacheBlock:  64,
+		DBankSize:    8 * 1024,
+		DBankWays:    1,
+		DBankBlock:   64,
+		DHitLatency:  2,
+		IHitLatency:  1,
+		MissPenalty:  13,
+		BusOccupancy: 4,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Units)
+	if c.ICacheSize <= 0 {
+		c.ICacheSize = d.ICacheSize
+	}
+	if c.ICacheWays <= 0 {
+		c.ICacheWays = d.ICacheWays
+	}
+	if c.ICacheBlock <= 0 {
+		c.ICacheBlock = d.ICacheBlock
+	}
+	if c.DBankSize <= 0 {
+		c.DBankSize = d.DBankSize
+	}
+	if c.DBankWays <= 0 {
+		c.DBankWays = d.DBankWays
+	}
+	if c.DBankBlock <= 0 {
+		c.DBankBlock = d.DBankBlock
+	}
+	if c.DHitLatency <= 0 {
+		c.DHitLatency = d.DHitLatency
+	}
+	if c.IHitLatency <= 0 {
+		c.IHitLatency = d.IHitLatency
+	}
+	if c.MissPenalty <= 0 {
+		c.MissPenalty = d.MissPenalty
+	}
+	if c.BusOccupancy <= 0 {
+		c.BusOccupancy = d.BusOccupancy
+	}
+	if c.Units <= 0 {
+		c.Units = d.Units
+	}
+	return c
+}
+
+// Bus models the single split-transaction memory bus: each miss occupies it
+// for a fixed number of cycles, and requests queue behind one another.
+type Bus struct {
+	occupancy int64
+	nextFree  int64
+	transfers uint64
+	waitTotal uint64
+}
+
+// NewBus creates a bus whose transfers occupy the given number of cycles.
+func NewBus(occupancy int) *Bus {
+	if occupancy < 1 {
+		occupancy = 1
+	}
+	return &Bus{occupancy: int64(occupancy)}
+}
+
+// Acquire schedules a transfer requested at cycle `now` and returns the cycle
+// at which the transfer begins (>= now).
+func (b *Bus) Acquire(now int64) int64 {
+	start := now
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+	b.waitTotal += uint64(start - now)
+	b.nextFree = start + b.occupancy
+	b.transfers++
+	return start
+}
+
+// Transfers returns the number of transfers performed.
+func (b *Bus) Transfers() uint64 { return b.transfers }
+
+// TotalWait returns the total number of cycles requests spent queued.
+func (b *Bus) TotalWait() uint64 { return b.waitTotal }
+
+// Reset clears the bus state.
+func (b *Bus) Reset() { b.nextFree, b.transfers, b.waitTotal = 0, 0, 0 }
+
+// Hierarchy bundles the per-unit instruction caches, the shared banked data
+// cache and the memory bus, and answers timing queries.
+type Hierarchy struct {
+	cfg    Config
+	icache []*SetAssoc
+	dbanks []*SetAssoc
+	// bankFree is the next cycle at which each data bank can accept an
+	// access (banks serve one access per cycle).
+	bankFree []int64
+	bus      *Bus
+
+	iAccesses uint64
+	dAccesses uint64
+	bankWait  uint64
+}
+
+// NewHierarchy builds the memory hierarchy for the configuration.
+func NewHierarchy(cfg Config) *Hierarchy {
+	cfg = cfg.withDefaults()
+	h := &Hierarchy{cfg: cfg, bus: NewBus(cfg.BusOccupancy)}
+	for i := 0; i < cfg.Units; i++ {
+		h.icache = append(h.icache, MustNewSetAssoc(cfg.ICacheSize, cfg.ICacheWays, cfg.ICacheBlock))
+	}
+	banks := 2 * cfg.Units
+	for i := 0; i < banks; i++ {
+		h.dbanks = append(h.dbanks, MustNewSetAssoc(cfg.DBankSize, cfg.DBankWays, cfg.DBankBlock))
+		h.bankFree = append(h.bankFree, 0)
+	}
+	return h
+}
+
+// Config returns the effective configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Banks returns the number of data banks.
+func (h *Hierarchy) Banks() int { return len(h.dbanks) }
+
+// bank selects the data bank serving addr (interleaved on block address).
+func (h *Hierarchy) bank(addr uint64) int {
+	return int((addr / uint64(h.cfg.DBankBlock)) % uint64(len(h.dbanks)))
+}
+
+// InstrFetch models an instruction fetch by the given unit at cycle now and
+// returns the cycle at which the instruction is available.
+func (h *Hierarchy) InstrFetch(unit int, pc uint64, now int64) int64 {
+	h.iAccesses++
+	c := h.icache[unit%len(h.icache)]
+	if c.Access(pc) {
+		return now + int64(h.cfg.IHitLatency)
+	}
+	start := h.bus.Acquire(now + int64(h.cfg.IHitLatency))
+	return start + int64(h.cfg.MissPenalty)
+}
+
+// DataAccess models a load or store by any unit at cycle now and returns the
+// cycle at which the access completes.  Stores complete when they reach the
+// bank; loads complete when the data returns.
+func (h *Hierarchy) DataAccess(addr uint64, now int64) int64 {
+	h.dAccesses++
+	b := h.bank(addr)
+	start := now
+	if h.bankFree[b] > start {
+		h.bankWait += uint64(h.bankFree[b] - start)
+		start = h.bankFree[b]
+	}
+	h.bankFree[b] = start + 1
+	if h.dbanks[b].Access(addr) {
+		return start + int64(h.cfg.DHitLatency)
+	}
+	busStart := h.bus.Acquire(start + int64(h.cfg.DHitLatency))
+	return busStart + int64(h.cfg.MissPenalty)
+}
+
+// Stats summarises hierarchy activity.
+type Stats struct {
+	InstrAccesses uint64
+	InstrMisses   uint64
+	DataAccesses  uint64
+	DataMisses    uint64
+	BusTransfers  uint64
+	BusWait       uint64
+	BankWait      uint64
+}
+
+// Stats returns a snapshot of the hierarchy counters.
+func (h *Hierarchy) Stats() Stats {
+	var s Stats
+	s.InstrAccesses = h.iAccesses
+	s.DataAccesses = h.dAccesses
+	for _, c := range h.icache {
+		s.InstrMisses += c.Misses()
+	}
+	for _, c := range h.dbanks {
+		s.DataMisses += c.Misses()
+	}
+	s.BusTransfers = h.bus.Transfers()
+	s.BusWait = h.bus.TotalWait()
+	s.BankWait = h.bankWait
+	return s
+}
+
+// Reset clears all caches, the bus and the counters.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.icache {
+		c.Reset()
+	}
+	for _, c := range h.dbanks {
+		c.Reset()
+	}
+	for i := range h.bankFree {
+		h.bankFree[i] = 0
+	}
+	h.bus.Reset()
+	h.iAccesses, h.dAccesses, h.bankWait = 0, 0, 0
+}

@@ -1,0 +1,292 @@
+// Package ctrlflow provides the control-flow machinery of the Multiscalar
+// sequencer: a path-based next-task predictor (after Jacobson et al.,
+// reference [13] of the paper), a return address stack, and a task descriptor
+// cache.  The sequencer of section 5.2 uses a 1024-entry 2-way set
+// associative task descriptor cache, a path-based control flow predictor, and
+// a 64-entry return address stack.
+package ctrlflow
+
+import "memdep/internal/cache"
+
+// PathPredictor predicts the next task's starting PC from a hashed history of
+// recent task PCs.  It is a tagless first-level table indexed by the path
+// hash; each entry holds the predicted successor and a hysteresis bit.
+type PathPredictor struct {
+	tableBits   int
+	historyLen  int
+	entries     []pathEntry
+	history     []uint64
+	predictions uint64
+	correct     uint64
+}
+
+type pathEntry struct {
+	valid     bool
+	target    uint64
+	confident bool
+}
+
+// NewPathPredictor creates a predictor with 2^tableBits entries and the given
+// path history length.
+func NewPathPredictor(tableBits, historyLen int) *PathPredictor {
+	if tableBits < 4 {
+		tableBits = 4
+	}
+	if tableBits > 24 {
+		tableBits = 24
+	}
+	if historyLen < 1 {
+		historyLen = 1
+	}
+	return &PathPredictor{
+		tableBits:  tableBits,
+		historyLen: historyLen,
+		entries:    make([]pathEntry, 1<<tableBits),
+		history:    make([]uint64, 0, historyLen),
+	}
+}
+
+// index hashes the current task PC and the path history into the table.
+func (p *PathPredictor) index(currentTaskPC uint64) uint64 {
+	h := currentTaskPC * 0x9e3779b97f4a7c15
+	for i, pc := range p.history {
+		h ^= (pc + uint64(i)*0x517cc1b727220a95) << (uint64(i%7) + 1)
+	}
+	return (h >> 3) & uint64(len(p.entries)-1)
+}
+
+// Predict returns the predicted starting PC of the task that follows the task
+// at currentTaskPC, and whether the predictor has an opinion at all.
+func (p *PathPredictor) Predict(currentTaskPC uint64) (next uint64, known bool) {
+	e := p.entries[p.index(currentTaskPC)]
+	if !e.valid {
+		return 0, false
+	}
+	return e.target, true
+}
+
+// Update trains the predictor with the observed successor of the task at
+// currentTaskPC and advances the path history.  It returns whether the
+// prediction (if any) was correct, which the caller typically uses to charge
+// a misprediction penalty.
+func (p *PathPredictor) Update(currentTaskPC, actualNext uint64) bool {
+	idx := p.index(currentTaskPC)
+	e := &p.entries[idx]
+	p.predictions++
+	wasCorrect := e.valid && e.target == actualNext
+	if wasCorrect {
+		p.correct++
+		e.confident = true
+	} else {
+		if e.valid && e.confident {
+			// First mispredict only clears the hysteresis bit.
+			e.confident = false
+		} else {
+			*e = pathEntry{valid: true, target: actualNext, confident: false}
+		}
+	}
+	// Advance the path history with the task we just left.
+	p.history = append(p.history, currentTaskPC)
+	if len(p.history) > p.historyLen {
+		p.history = p.history[1:]
+	}
+	return wasCorrect
+}
+
+// Accuracy returns the fraction of Update calls whose prior prediction was
+// correct.
+func (p *PathPredictor) Accuracy() float64 {
+	if p.predictions == 0 {
+		return 0
+	}
+	return float64(p.correct) / float64(p.predictions)
+}
+
+// Predictions returns the number of Update calls.
+func (p *PathPredictor) Predictions() uint64 { return p.predictions }
+
+// Reset clears the table, history and counters.
+func (p *PathPredictor) Reset() {
+	for i := range p.entries {
+		p.entries[i] = pathEntry{}
+	}
+	p.history = p.history[:0]
+	p.predictions, p.correct = 0, 0
+}
+
+// ReturnAddressStack is the sequencer's 64-entry return address stack.  It is
+// a circular stack: pushes beyond the capacity overwrite the oldest entries,
+// and pops of an empty stack return ok == false.
+type ReturnAddressStack struct {
+	entries []uint64
+	top     int
+	depth   int
+}
+
+// NewReturnAddressStack creates a RAS with the given capacity (64 in the
+// paper's configuration).
+func NewReturnAddressStack(capacity int) *ReturnAddressStack {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ReturnAddressStack{entries: make([]uint64, capacity)}
+}
+
+// Push records a return address.
+func (r *ReturnAddressStack) Push(addr uint64) {
+	r.entries[r.top] = addr
+	r.top = (r.top + 1) % len(r.entries)
+	if r.depth < len(r.entries) {
+		r.depth++
+	}
+}
+
+// Pop removes and returns the most recently pushed address.
+func (r *ReturnAddressStack) Pop() (addr uint64, ok bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.entries)) % len(r.entries)
+	r.depth--
+	return r.entries[r.top], true
+}
+
+// Depth returns the number of live entries.
+func (r *ReturnAddressStack) Depth() int { return r.depth }
+
+// Capacity returns the stack capacity.
+func (r *ReturnAddressStack) Capacity() int { return len(r.entries) }
+
+// Reset empties the stack.
+func (r *ReturnAddressStack) Reset() { r.top, r.depth = 0, 0 }
+
+// Sequencer bundles the control-flow structures of the Multiscalar global
+// sequencer: the path-based next-task predictor, the task descriptor cache
+// and the return address stack.
+type Sequencer struct {
+	predictor *PathPredictor
+	descCache *cache.SetAssoc
+	ras       *ReturnAddressStack
+
+	descriptorMisses uint64
+	mispredictions   uint64
+	taskDispatches   uint64
+}
+
+// SequencerConfig describes the sequencer structures.
+type SequencerConfig struct {
+	// PredictorBits sizes the path predictor table (2^bits entries).
+	PredictorBits int
+	// PathLength is the number of task PCs in the path history.
+	PathLength int
+	// DescriptorEntries is the number of task descriptors cached (1024).
+	DescriptorEntries int
+	// DescriptorWays is the associativity of the descriptor cache (2).
+	DescriptorWays int
+	// RASEntries is the return address stack depth (64).
+	RASEntries int
+}
+
+// DefaultSequencerConfig returns the paper's sequencer configuration.
+func DefaultSequencerConfig() SequencerConfig {
+	return SequencerConfig{
+		PredictorBits:     14,
+		PathLength:        4,
+		DescriptorEntries: 1024,
+		DescriptorWays:    2,
+		RASEntries:        64,
+	}
+}
+
+func (c SequencerConfig) withDefaults() SequencerConfig {
+	d := DefaultSequencerConfig()
+	if c.PredictorBits <= 0 {
+		c.PredictorBits = d.PredictorBits
+	}
+	if c.PathLength <= 0 {
+		c.PathLength = d.PathLength
+	}
+	if c.DescriptorEntries <= 0 {
+		c.DescriptorEntries = d.DescriptorEntries
+	}
+	if c.DescriptorWays <= 0 {
+		c.DescriptorWays = d.DescriptorWays
+	}
+	if c.RASEntries <= 0 {
+		c.RASEntries = d.RASEntries
+	}
+	return c
+}
+
+// NewSequencer creates the sequencer structures.
+func NewSequencer(cfg SequencerConfig) *Sequencer {
+	cfg = cfg.withDefaults()
+	// Model each task descriptor as one 64-byte block: entries*64 bytes total.
+	desc := cache.MustNewSetAssoc(cfg.DescriptorEntries*64, cfg.DescriptorWays, 64)
+	return &Sequencer{
+		predictor: NewPathPredictor(cfg.PredictorBits, cfg.PathLength),
+		descCache: desc,
+		ras:       NewReturnAddressStack(cfg.RASEntries),
+	}
+}
+
+// Predictor exposes the path predictor.
+func (s *Sequencer) Predictor() *PathPredictor { return s.predictor }
+
+// RAS exposes the return address stack.
+func (s *Sequencer) RAS() *ReturnAddressStack { return s.ras }
+
+// DispatchOutcome reports the cost drivers of dispatching one task.
+type DispatchOutcome struct {
+	// PredictedCorrectly is false when the sequencer's next-task prediction
+	// for the previous task did not name this task.
+	PredictedCorrectly bool
+	// DescriptorHit is false when the task descriptor had to be fetched from
+	// memory.
+	DescriptorHit bool
+}
+
+// Dispatch records the dispatch of the task at nextTaskPC following the task
+// at prevTaskPC, training the predictor and touching the descriptor cache.
+// For the very first task pass prevKnown == false.
+func (s *Sequencer) Dispatch(prevTaskPC uint64, prevKnown bool, nextTaskPC uint64) DispatchOutcome {
+	s.taskDispatches++
+	out := DispatchOutcome{PredictedCorrectly: true, DescriptorHit: true}
+	if prevKnown {
+		if !s.predictor.Update(prevTaskPC, nextTaskPC) {
+			out.PredictedCorrectly = false
+			s.mispredictions++
+		}
+	}
+	if !s.descCache.Access(nextTaskPC) {
+		out.DescriptorHit = false
+		s.descriptorMisses++
+	}
+	return out
+}
+
+// SequencerStats summarises sequencer activity.
+type SequencerStats struct {
+	TaskDispatches   uint64
+	Mispredictions   uint64
+	DescriptorMisses uint64
+	PredictorAcc     float64
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Sequencer) Stats() SequencerStats {
+	return SequencerStats{
+		TaskDispatches:   s.taskDispatches,
+		Mispredictions:   s.mispredictions,
+		DescriptorMisses: s.descriptorMisses,
+		PredictorAcc:     s.predictor.Accuracy(),
+	}
+}
+
+// Reset clears all structures and counters.
+func (s *Sequencer) Reset() {
+	s.predictor.Reset()
+	s.descCache.Reset()
+	s.ras.Reset()
+	s.descriptorMisses, s.mispredictions, s.taskDispatches = 0, 0, 0
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memdep/internal/memdep"
+	"memdep/internal/policy"
+	"memdep/internal/stats"
+	"memdep/internal/workload"
+)
+
+// AblationTagging compares the two dynamic-instance tagging schemes of
+// section 3: the dependence-distance scheme (the paper's choice, evaluated
+// everywhere else) and the data-address scheme, on the 8-stage configuration
+// with the SYNC predictor.
+func (r *Runner) AblationTagging() (*stats.Table, error) {
+	t := stats.NewTable("Ablation: dynamic-instance tagging scheme (8 stages, SYNC predictor)",
+		"benchmark", "distance IPC", "address IPC", "distance misspec/load", "address misspec/load")
+	const stages = 8
+	for _, name := range workload.SPECint92Names() {
+		dist, err := r.Simulate(name, stages, policy.Sync)
+		if err != nil {
+			return nil, err
+		}
+		cfg := r.simConfig(stages, policy.Sync)
+		cfg.MemDep.TagByAddress = true
+		addr, err := r.simulateWith(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name,
+			stats.FormatFloat(dist.IPC(), 2),
+			stats.FormatFloat(addr.IPC(), 2),
+			stats.FormatFloat(dist.MisspecsPerCommittedLoad(), 4),
+			stats.FormatFloat(addr.MisspecsPerCommittedLoad(), 4))
+	}
+	return t, nil
+}
+
+// AblationPredictor compares the prediction policies attached to MDPT entries
+// (always-synchronize, SYNC counter, ESYNC counter + task PC) on the 8-stage
+// configuration.
+func (r *Runner) AblationPredictor() (*stats.Table, error) {
+	t := stats.NewTable("Ablation: MDPT prediction policy (8 stages)",
+		"benchmark", "ALWAYS-SYNC IPC", "SYNC IPC", "ESYNC IPC", "PSYNC IPC")
+	const stages = 8
+	for _, name := range workload.SPECint92Names() {
+		cfg := r.simConfig(stages, policy.Sync)
+		cfg.MemDep.Predictor = memdep.PredictAlways
+		alwaysSync, err := r.simulateWith(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		syncRes, err := r.Simulate(name, stages, policy.Sync)
+		if err != nil {
+			return nil, err
+		}
+		esyncRes, err := r.Simulate(name, stages, policy.ESync)
+		if err != nil {
+			return nil, err
+		}
+		psyncRes, err := r.Simulate(name, stages, policy.PerfectSync)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name,
+			stats.FormatFloat(alwaysSync.IPC(), 2),
+			stats.FormatFloat(syncRes.IPC(), 2),
+			stats.FormatFloat(esyncRes.IPC(), 2),
+			stats.FormatFloat(psyncRes.IPC(), 2))
+	}
+	t.Note = "ALWAYS-SYNC omits the prediction counter: any matching MDPT entry forces synchronization."
+	return t, nil
+}
+
+// ablationTableSizes are the MDPT sizes swept by AblationTableSize.
+func ablationTableSizes() []int { return []int{16, 32, 64, 128, 256} }
+
+// AblationTableSize sweeps the MDPT size (the paper evaluates 64 entries and
+// discusses capacity problems for 103.su2cor and 145.fpppp).
+func (r *Runner) AblationTableSize() (*stats.Table, error) {
+	cols := []string{"benchmark"}
+	for _, n := range ablationTableSizes() {
+		cols = append(cols, fmt.Sprintf("%d entries", n))
+	}
+	t := stats.NewTable("Ablation: MDPT size, ESYNC IPC (8 stages)", cols...)
+	const stages = 8
+	benchmarks := append(append([]string{}, workload.SPECint92Names()...),
+		"103.su2cor", "145.fpppp")
+	for _, name := range benchmarks {
+		row := []string{name}
+		for _, entries := range ablationTableSizes() {
+			cfg := r.simConfig(stages, policy.ESync)
+			cfg.MemDep.Entries = entries
+			res, err := r.simulateWith(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.FormatFloat(res.IPC(), 2))
+		}
+		t.AddRow(row...)
+	}
+	t.Note = "103.su2cor and 145.fpppp carry dependence working sets larger than small tables (section 5.5)."
+	return t, nil
+}
+
+// NamedExperiment couples an experiment identifier with its driver.
+type NamedExperiment struct {
+	// ID is the table/figure identifier used by the paper (for example
+	// "table3" or "figure6").
+	ID string
+	// Description summarises what the experiment reports.
+	Description string
+	// Run produces the table.
+	Run func(*Runner) (*stats.Table, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []NamedExperiment {
+	return []NamedExperiment{
+		{"table1", "committed dynamic instruction counts", (*Runner).Table1DynamicCounts},
+		{"table3", "unrealistic OOO: mis-speculations vs window size", (*Runner).Table3WindowMisspec},
+		{"table4", "static dependences covering 99.9% of mis-speculations", (*Runner).Table4StaticCoverage},
+		{"table5", "unrealistic OOO: DDC miss rates", (*Runner).Table5DDCMissRate},
+		{"table6", "Multiscalar: mis-speculations under blind speculation", (*Runner).Table6MultiscalarMisspec},
+		{"table7", "8-stage Multiscalar: DDC miss rates", (*Runner).Table7MultiscalarDDC},
+		{"figure5", "speculation policies vs NEVER", (*Runner).Figure5PolicyComparison},
+		{"table8", "dependence prediction breakdown", (*Runner).Table8PredictionBreakdown},
+		{"table9", "mis-speculations per committed load", (*Runner).Table9MisspecPerLoad},
+		{"figure6", "mechanism speedup over blind speculation", (*Runner).Figure6MechanismSpeedup},
+		{"figure7", "SPEC95 speedups on 8 stages", (*Runner).Figure7Spec95},
+		{"ablation-tagging", "instance tagging: distance vs address", (*Runner).AblationTagging},
+		{"ablation-predictor", "prediction policy: always/SYNC/ESYNC", (*Runner).AblationPredictor},
+		{"ablation-tablesize", "MDPT size sweep", (*Runner).AblationTableSize},
+	}
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (NamedExperiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return NamedExperiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

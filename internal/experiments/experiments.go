@@ -1,0 +1,182 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (section 5), plus ablation studies for the design
+// choices called out in DESIGN.md.  Each driver returns a stats.Table whose
+// rows mirror the corresponding table or figure, regenerated on the synthetic
+// workload suite.
+//
+// The drivers share a Runner, which caches functional traces (as Multiscalar
+// work items) and timing-simulation results so that, for example, the ALWAYS
+// baseline computed for Figure 5 is reused by Figure 6 and Table 9.
+package experiments
+
+import (
+	"fmt"
+
+	"memdep/internal/multiscalar"
+	"memdep/internal/policy"
+	"memdep/internal/program"
+	"memdep/internal/trace"
+	"memdep/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale overrides every workload's default scale when positive.
+	Scale int
+	// MaxInstructions caps the number of committed instructions per
+	// benchmark (0 = run each benchmark to completion at its scale).  The
+	// quick presets use this to keep unit-test and benchmark runs short.
+	MaxInstructions uint64
+	// Stages lists the Multiscalar configurations to simulate (default 4, 8).
+	Stages []int
+	// MDPTEntries sets the prediction-table size (default 64, the paper's
+	// evaluated configuration).
+	MDPTEntries int
+}
+
+// Quick returns options suitable for unit tests and Go benchmarks: the same
+// experiments on truncated runs.
+func Quick() Options {
+	return Options{Scale: 1, MaxInstructions: 40_000}
+}
+
+// Full returns the options used to produce EXPERIMENTS.md: every workload at
+// its default scale, run to completion.
+func Full() Options {
+	return Options{}
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Stages) == 0 {
+		o.Stages = []int{4, 8}
+	}
+	if o.MDPTEntries <= 0 {
+		o.MDPTEntries = 64
+	}
+	return o
+}
+
+// simKey identifies a cached timing simulation.
+type simKey struct {
+	bench   string
+	stages  int
+	pol     policy.Kind
+	entries int
+	tagAddr bool
+	ddc     bool
+}
+
+// Runner executes experiments, caching programs, work items and simulation
+// results across drivers.
+type Runner struct {
+	opts      Options
+	programs  map[string]*program.Program
+	workItems map[string]*multiscalar.WorkItem
+	simCache  map[simKey]multiscalar.Result
+}
+
+// NewRunner creates a runner for the given options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{
+		opts:      opts.withDefaults(),
+		programs:  map[string]*program.Program{},
+		workItems: map[string]*multiscalar.WorkItem{},
+		simCache:  map[simKey]multiscalar.Result{},
+	}
+}
+
+// Options returns the effective options.
+func (r *Runner) Options() Options { return r.opts }
+
+// Program builds (and caches) the program of a benchmark at the configured
+// scale.
+func (r *Runner) Program(name string) (*program.Program, error) {
+	if p, ok := r.programs[name]; ok {
+		return p, nil
+	}
+	w, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	scale := w.DefaultScale
+	if r.opts.Scale > 0 {
+		scale = r.opts.Scale
+	}
+	p := w.Build(scale)
+	r.programs[name] = p
+	return p, nil
+}
+
+// traceConfig returns the functional-run bounds for the current options.
+func (r *Runner) traceConfig() trace.Config {
+	return trace.Config{MaxInstructions: r.opts.MaxInstructions}
+}
+
+// WorkItem preprocesses (and caches) a benchmark for timing simulation.
+func (r *Runner) WorkItem(name string) (*multiscalar.WorkItem, error) {
+	if w, ok := r.workItems[name]; ok {
+		return w, nil
+	}
+	p, err := r.Program(name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := multiscalar.Preprocess(p, r.traceConfig())
+	if err != nil {
+		return nil, err
+	}
+	r.workItems[name] = w
+	return w, nil
+}
+
+// simConfig builds the Multiscalar configuration for a policy and stage
+// count.
+func (r *Runner) simConfig(stages int, pol policy.Kind) multiscalar.Config {
+	cfg := multiscalar.DefaultConfig(stages, pol)
+	cfg.MemDep.Entries = r.opts.MDPTEntries
+	return cfg
+}
+
+// Simulate runs (and caches) one benchmark under one configuration.
+func (r *Runner) Simulate(name string, stages int, pol policy.Kind) (multiscalar.Result, error) {
+	key := simKey{bench: name, stages: stages, pol: pol, entries: r.opts.MDPTEntries}
+	if res, ok := r.simCache[key]; ok {
+		return res, nil
+	}
+	w, err := r.WorkItem(name)
+	if err != nil {
+		return multiscalar.Result{}, err
+	}
+	res, err := multiscalar.Simulate(w, r.simConfig(stages, pol))
+	if err != nil {
+		return multiscalar.Result{}, fmt.Errorf("experiments: %s/%d-stage/%v: %w", name, stages, pol, err)
+	}
+	r.simCache[key] = res
+	return res, nil
+}
+
+// simulateWith runs a benchmark with a customised configuration (used by the
+// ablation drivers); results are cached by the distinguishing fields.
+func (r *Runner) simulateWith(name string, cfg multiscalar.Config) (multiscalar.Result, error) {
+	key := simKey{
+		bench:   name,
+		stages:  cfg.Stages,
+		pol:     cfg.Policy,
+		entries: cfg.MemDep.Entries,
+		tagAddr: cfg.MemDep.TagByAddress,
+		ddc:     len(cfg.DDCSizes) > 0,
+	}
+	if res, ok := r.simCache[key]; ok {
+		return res, nil
+	}
+	w, err := r.WorkItem(name)
+	if err != nil {
+		return multiscalar.Result{}, err
+	}
+	res, err := multiscalar.Simulate(w, cfg)
+	if err != nil {
+		return multiscalar.Result{}, err
+	}
+	r.simCache[key] = res
+	return res, nil
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"memdep/internal/policy"
+	"memdep/internal/workload"
+)
+
+func quickRunner() *Runner {
+	return NewRunner(Quick())
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if len(o.Stages) != 2 || o.Stages[0] != 4 || o.Stages[1] != 8 {
+		t.Errorf("stages = %v", o.Stages)
+	}
+	if o.MDPTEntries != 64 {
+		t.Errorf("entries = %d", o.MDPTEntries)
+	}
+	if Quick().MaxInstructions == 0 {
+		t.Error("quick options must cap instructions")
+	}
+	if Full().MaxInstructions != 0 {
+		t.Error("full options must not cap instructions")
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	r := quickRunner()
+	w1, err := r.WorkItem("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := r.WorkItem("compress")
+	if w1 != w2 {
+		t.Error("work items must be cached")
+	}
+	res1, err := r.Simulate("compress", 4, policy.Always)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _ := r.Simulate("compress", 4, policy.Always)
+	if res1.Cycles != res2.Cycles {
+		t.Error("cached simulation must return the same result")
+	}
+	if len(r.simCache) != 1 {
+		t.Errorf("sim cache has %d entries, want 1", len(r.simCache))
+	}
+	if _, err := r.Program("no-such-benchmark"); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Table1DynamicCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(workload.SPECint92Names()) + len(workload.SPEC95Names())
+	if tab.NumRows() != want {
+		t.Errorf("rows = %d, want %d", tab.NumRows(), want)
+	}
+	if !strings.Contains(tab.Render(), "compress") {
+		t.Error("table must mention compress")
+	}
+}
+
+func TestTable3And4Shapes(t *testing.T) {
+	r := quickRunner()
+	t3, err := r.Table3WindowMisspec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3.NumRows() != len(windowSizes()) {
+		t.Fatalf("table 3 rows = %d", t3.NumRows())
+	}
+	t4, err := r.Table4StaticCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.NumRows() != len(windowSizes()) {
+		t.Fatalf("table 4 rows = %d", t4.NumRows())
+	}
+	// The number of static pairs covering 99.9% of mis-speculations at the
+	// largest window must be small relative to the dynamic counts.
+	last := t4.NumRows() - 1
+	for col := 1; col <= len(workload.SPECint92Names()); col++ {
+		n, err := strconv.Atoi(t4.Cell(last, col))
+		if err != nil {
+			t.Fatalf("cell not an integer: %q", t4.Cell(last, col))
+		}
+		if n > 500 {
+			t.Errorf("column %d: %d static pairs for 99.9%% coverage, expected a small number", col, n)
+		}
+	}
+}
+
+func TestTable5MissRatesDecreaseWithDDCSize(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Table5DDCMissRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows come in groups of three DDC sizes per window size; within each
+	// group the miss rate must not increase with capacity.
+	for g := 0; g < tab.NumRows(); g += 3 {
+		for col := 2; col < 2+len(workload.SPECint92Names()); col++ {
+			small, _ := strconv.ParseFloat(tab.Cell(g, col), 64)
+			large, _ := strconv.ParseFloat(tab.Cell(g+2, col), 64)
+			if large > small+1e-9 {
+				t.Errorf("row group %d col %d: miss rate grew with DDC size (%v -> %v)",
+					g, col, small, large)
+			}
+		}
+	}
+}
+
+func TestTable6And9Consistency(t *testing.T) {
+	r := quickRunner()
+	t6, err := r.Table6MultiscalarMisspec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t6.NumRows() != len(r.Options().Stages) {
+		t.Errorf("table 6 rows = %d", t6.NumRows())
+	}
+	t9, err := r.Table9MisspecPerLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 9: the mechanism rows (SYNC/ESYNC) must show lower
+	// mis-speculation rates than the ALWAYS rows for most benchmarks.
+	better := 0
+	total := 0
+	rowsPerStage := 3
+	for s := 0; s < len(r.Options().Stages); s++ {
+		base := s * rowsPerStage
+		for col := 2; col < 2+len(workload.SPECint92Names()); col++ {
+			always, _ := strconv.ParseFloat(t9.Cell(base, col), 64)
+			sync, _ := strconv.ParseFloat(t9.Cell(base+1, col), 64)
+			total++
+			if sync <= always {
+				better++
+			}
+		}
+	}
+	if better*2 < total {
+		t.Errorf("SYNC reduced the mis-speculation rate in only %d/%d cases", better, total)
+	}
+}
+
+func TestTable8PercentagesSum(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Table8PredictionBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows come in groups of four categories; each benchmark column must sum
+	// to ~100% within a group.
+	for g := 0; g+3 < tab.NumRows(); g += 4 {
+		for col := 3; col < 3+len(workload.SPECint92Names()); col++ {
+			sum := 0.0
+			for k := 0; k < 4; k++ {
+				v, _ := strconv.ParseFloat(tab.Cell(g+k, col), 64)
+				sum += v
+			}
+			if sum < 99.0 || sum > 101.0 {
+				t.Errorf("group %d col %d: breakdown sums to %.2f%%", g, col, sum)
+			}
+		}
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Figure5PolicyComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != len(r.Options().Stages)*len(workload.SPECint92Names()) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	// ALWAYS and PSYNC speedups over NEVER must be positive for every
+	// benchmark (the paper's headline observation).
+	for row := 0; row < tab.NumRows(); row++ {
+		for _, col := range []int{3, 5} { // ALWAYS, PSYNC
+			v := strings.TrimSuffix(strings.TrimPrefix(tab.Cell(row, col), "+"), "%")
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				t.Fatalf("cell %q not a speedup", tab.Cell(row, col))
+			}
+			if f <= 0 {
+				t.Errorf("row %d (%s): %s speedup over NEVER is %v, want > 0",
+					row, tab.Cell(row, 1), tab.Columns[col], f)
+			}
+		}
+	}
+}
+
+func TestFigure6Shapes(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.Figure6MechanismSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() == 0 {
+		t.Fatal("empty table")
+	}
+	// PSYNC (the ideal bound) must never be clearly below ALWAYS.
+	for row := 0; row < tab.NumRows(); row++ {
+		v := strings.TrimSuffix(strings.TrimPrefix(tab.Cell(row, 5), "+"), "%")
+		f, _ := strconv.ParseFloat(v, 64)
+		if f < -2.0 {
+			t.Errorf("row %d (%s): PSYNC %v%% below ALWAYS", row, tab.Cell(row, 1), f)
+		}
+	}
+}
+
+func TestLookupAndAll(t *testing.T) {
+	all := All()
+	if len(all) < 14 {
+		t.Fatalf("experiments = %d, want >= 14", len(all))
+	}
+	ids := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, id := range []string{"table3", "figure5", "figure7", "ablation-tagging"} {
+		if _, err := Lookup(id); err != nil {
+			t.Errorf("Lookup(%q): %v", id, err)
+		}
+	}
+	if _, err := Lookup("table99"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow; skipped in -short mode")
+	}
+	r := quickRunner()
+	if _, err := r.AblationTagging(); err != nil {
+		t.Errorf("tagging ablation: %v", err)
+	}
+	if _, err := r.AblationPredictor(); err != nil {
+		t.Errorf("predictor ablation: %v", err)
+	}
+}

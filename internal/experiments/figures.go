@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memdep/internal/policy"
+	"memdep/internal/stats"
+	"memdep/internal/workload"
+)
+
+// Figure5PolicyComparison reproduces Figure 5: the IPC of the NEVER policy
+// and the speedups (%) of ALWAYS, WAIT and PSYNC relative to NEVER, for 4-
+// and 8-stage Multiscalar processors on the SPECint92 benchmarks.
+func (r *Runner) Figure5PolicyComparison() (*stats.Table, error) {
+	t := stats.NewTable("Figure 5: dependence speculation policies, speedup (%) over NEVER",
+		"stages", "benchmark", "NEVER IPC", "ALWAYS", "WAIT", "PSYNC")
+	for _, stages := range r.opts.Stages {
+		for _, name := range workload.SPECint92Names() {
+			never, err := r.Simulate(name, stages, policy.Never)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{fmt.Sprint(stages), name, stats.FormatFloat(never.IPC(), 2)}
+			for _, pol := range []policy.Kind{policy.Always, policy.Wait, policy.PerfectSync} {
+				res, err := r.Simulate(name, stages, pol)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, stats.FormatSpeedup(res.SpeedupOver(never)))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Figure6MechanismSpeedup reproduces Figure 6: the speedup (%) of the
+// proposed mechanism (SYNC and ESYNC predictors) and of perfect
+// synchronization (PSYNC) over blind speculation (ALWAYS), for 4- and 8-stage
+// configurations on the SPECint92 benchmarks.
+func (r *Runner) Figure6MechanismSpeedup() (*stats.Table, error) {
+	t := stats.NewTable("Figure 6: mechanism speedup (%) over blind speculation (ALWAYS)",
+		"stages", "benchmark", "ALWAYS IPC", "SYNC", "ESYNC", "PSYNC")
+	for _, stages := range r.opts.Stages {
+		for _, name := range workload.SPECint92Names() {
+			always, err := r.Simulate(name, stages, policy.Always)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{fmt.Sprint(stages), name, stats.FormatFloat(always.IPC(), 2)}
+			for _, pol := range []policy.Kind{policy.Sync, policy.ESync, policy.PerfectSync} {
+				res, err := r.Simulate(name, stages, pol)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, stats.FormatSpeedup(res.SpeedupOver(always)))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Figure7Spec95 reproduces Figure 7: for the SPEC95 programs on an 8-stage
+// Multiscalar processor, the IPC obtained with the ESYNC mechanism and the
+// speedups of ESYNC and PSYNC over blind speculation.
+func (r *Runner) Figure7Spec95() (*stats.Table, error) {
+	t := stats.NewTable("Figure 7: SPEC95, 8-stage Multiscalar, speedup (%) over ALWAYS",
+		"benchmark", "suite", "ESYNC IPC", "ESYNC", "PSYNC")
+	const stages = 8
+	for _, name := range workload.SPEC95Names() {
+		always, err := r.Simulate(name, stages, policy.Always)
+		if err != nil {
+			return nil, err
+		}
+		esync, err := r.Simulate(name, stages, policy.ESync)
+		if err != nil {
+			return nil, err
+		}
+		psync, err := r.Simulate(name, stages, policy.PerfectSync)
+		if err != nil {
+			return nil, err
+		}
+		wl := workload.MustGet(name)
+		t.AddRow(name, wl.Suite.String(),
+			stats.FormatFloat(esync.IPC(), 2),
+			stats.FormatSpeedup(esync.SpeedupOver(always)),
+			stats.FormatSpeedup(psync.SpeedupOver(always)))
+	}
+	return t, nil
+}

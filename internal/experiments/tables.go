@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memdep/internal/policy"
+	"memdep/internal/stats"
+	"memdep/internal/trace"
+	"memdep/internal/window"
+	"memdep/internal/workload"
+)
+
+// Table1DynamicCounts reproduces Table 1: committed dynamic instruction
+// counts per benchmark.
+func (r *Runner) Table1DynamicCounts() (*stats.Table, error) {
+	t := stats.NewTable("Table 1: committed dynamic instruction count per benchmark",
+		"benchmark", "suite", "instructions", "loads", "stores", "tasks", "avg task")
+	var names []string
+	names = append(names, workload.SPECint92Names()...)
+	names = append(names, workload.SPEC95Names()...)
+	for _, name := range names {
+		w, err := r.WorkItem(name)
+		if err != nil {
+			return nil, err
+		}
+		wl := workload.MustGet(name)
+		t.AddRow(name, wl.Suite.String(),
+			stats.FormatCount(w.Instructions),
+			stats.FormatCount(w.Loads),
+			stats.FormatCount(w.Stores),
+			stats.FormatCount(uint64(w.Tasks())),
+			stats.FormatFloat(w.AvgTaskSize(), 1))
+	}
+	t.Note = "Synthetic stand-ins for the paper's SPEC binaries; see DESIGN.md for the substitution."
+	return t, nil
+}
+
+// windowResults runs the unrealistic OOO analysis for one benchmark, cached
+// implicitly by the runner's program cache (the analysis itself is cheap).
+func (r *Runner) windowResults(name string, windows, ddcSizes []int) ([]window.Result, error) {
+	p, err := r.Program(name)
+	if err != nil {
+		return nil, err
+	}
+	return window.Analyze(p, window.Config{
+		WindowSizes: windows,
+		DDCSizes:    ddcSizes,
+		Trace:       trace.Config{MaxInstructions: r.opts.MaxInstructions},
+	})
+}
+
+// windowSizes returns the window sizes of Tables 3-5.
+func windowSizes() []int { return []int{8, 16, 32, 64, 128, 256, 512} }
+
+// Table3WindowMisspec reproduces Table 3: the number of dynamic memory
+// dependences (worst-case mis-speculations) observed as a function of the
+// window size, under the unrealistic OOO model.
+func (r *Runner) Table3WindowMisspec() (*stats.Table, error) {
+	cols := append([]string{"WS"}, workload.SPECint92Names()...)
+	t := stats.NewTable("Table 3: unrealistic OOO model, dynamic memory dependences vs window size", cols...)
+	perBench := map[string][]window.Result{}
+	for _, name := range workload.SPECint92Names() {
+		res, err := r.windowResults(name, windowSizes(), []int{32})
+		if err != nil {
+			return nil, err
+		}
+		perBench[name] = res
+	}
+	for i, ws := range windowSizes() {
+		row := []string{fmt.Sprint(ws)}
+		for _, name := range workload.SPECint92Names() {
+			row = append(row, stats.FormatCount(perBench[name][i].Misspeculations))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Table4StaticCoverage reproduces Table 4: the number of static dependences
+// responsible for 99.9% of all mis-speculations, per window size.
+func (r *Runner) Table4StaticCoverage() (*stats.Table, error) {
+	cols := append([]string{"WS"}, workload.SPECint92Names()...)
+	t := stats.NewTable("Table 4: static dependences covering 99.9% of mis-speculations", cols...)
+	perBench := map[string][]window.Result{}
+	for _, name := range workload.SPECint92Names() {
+		res, err := r.windowResults(name, windowSizes(), []int{32})
+		if err != nil {
+			return nil, err
+		}
+		perBench[name] = res
+	}
+	for i, ws := range windowSizes() {
+		row := []string{fmt.Sprint(ws)}
+		for _, name := range workload.SPECint92Names() {
+			row = append(row, fmt.Sprint(perBench[name][i].PairsForCoverage))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Table5DDCMissRate reproduces Table 5: the miss rate (%) of data dependence
+// caches of 32, 128 and 512 entries as a function of the window size.
+func (r *Runner) Table5DDCMissRate() (*stats.Table, error) {
+	ddcSizes := window.DefaultDDCSizes()
+	cols := []string{"WS", "CS"}
+	cols = append(cols, workload.SPECint92Names()...)
+	t := stats.NewTable("Table 5: unrealistic OOO model, DDC miss rate (%) vs window size and DDC size", cols...)
+	perBench := map[string][]window.Result{}
+	for _, name := range workload.SPECint92Names() {
+		res, err := r.windowResults(name, windowSizes(), ddcSizes)
+		if err != nil {
+			return nil, err
+		}
+		perBench[name] = res
+	}
+	for i, ws := range windowSizes() {
+		for _, cs := range ddcSizes {
+			row := []string{fmt.Sprint(ws), fmt.Sprint(cs)}
+			for _, name := range workload.SPECint92Names() {
+				row = append(row, stats.FormatPercent(perBench[name][i].DDCMissRate[cs]))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Table6MultiscalarMisspec reproduces Table 6: the number of mis-speculations
+// observed on the Multiscalar model (blind speculation) for 4 and 8 stages.
+func (r *Runner) Table6MultiscalarMisspec() (*stats.Table, error) {
+	cols := append([]string{"stages"}, workload.SPECint92Names()...)
+	t := stats.NewTable("Table 6: Multiscalar model, mis-speculations under blind speculation", cols...)
+	for _, stages := range r.opts.Stages {
+		row := []string{fmt.Sprint(stages)}
+		for _, name := range workload.SPECint92Names() {
+			res, err := r.Simulate(name, stages, policy.Always)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.FormatCount(res.Misspeculations))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// table7DDCSizes are the DDC sizes of Table 7.
+func table7DDCSizes() []int { return []int{16, 32, 64, 128, 256, 512, 1024} }
+
+// Table7MultiscalarDDC reproduces Table 7: DDC miss rates on the 8-stage
+// Multiscalar configuration as a function of the DDC size.
+func (r *Runner) Table7MultiscalarDDC() (*stats.Table, error) {
+	cols := append([]string{"CS"}, workload.SPECint92Names()...)
+	t := stats.NewTable("Table 7: 8-stage Multiscalar, DDC miss rate (%) vs DDC size", cols...)
+	perBench := map[string]map[int]float64{}
+	for _, name := range workload.SPECint92Names() {
+		cfg := r.simConfig(8, policy.Always)
+		cfg.DDCSizes = table7DDCSizes()
+		res, err := r.simulateWith(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		perBench[name] = res.DDCMissRate
+	}
+	for _, cs := range table7DDCSizes() {
+		row := []string{fmt.Sprint(cs)}
+		for _, name := range workload.SPECint92Names() {
+			row = append(row, stats.FormatPercent(perBench[name][cs]))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Table8PredictionBreakdown reproduces Table 8: the breakdown of dependence
+// predictions (predicted/actual) for the SYNC and ESYNC predictors.
+func (r *Runner) Table8PredictionBreakdown() (*stats.Table, error) {
+	cols := append([]string{"stages", "predictor", "P/A"}, workload.SPECint92Names()...)
+	t := stats.NewTable("Table 8: dependence prediction breakdown (% of committed loads)", cols...)
+	categories := []struct {
+		label     string
+		pred, act int
+	}{
+		{"N/N", 0, 0},
+		{"N/Y", 0, 1},
+		{"Y/N", 1, 0},
+		{"Y/Y", 1, 1},
+	}
+	for _, stages := range r.opts.Stages {
+		for _, pol := range []policy.Kind{policy.Sync, policy.ESync} {
+			for _, cat := range categories {
+				row := []string{fmt.Sprint(stages), pol.String(), cat.label}
+				for _, name := range workload.SPECint92Names() {
+					res, err := r.Simulate(name, stages, pol)
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, stats.FormatPercent(res.Breakdown.Percent(cat.pred, cat.act)))
+				}
+				t.AddRow(row...)
+			}
+		}
+	}
+	t.Note = "N/Y rows are mis-speculations; Y/N rows are false dependence predictions (unnecessary delays)."
+	return t, nil
+}
+
+// Table9MisspecPerLoad reproduces Table 9: mis-speculations per committed
+// load under blind speculation and with the prediction/synchronization
+// mechanism in place.
+func (r *Runner) Table9MisspecPerLoad() (*stats.Table, error) {
+	cols := append([]string{"stages", "policy"}, workload.SPECint92Names()...)
+	t := stats.NewTable("Table 9: mis-speculations per committed load", cols...)
+	for _, stages := range r.opts.Stages {
+		for _, pol := range []policy.Kind{policy.Always, policy.Sync, policy.ESync} {
+			row := []string{fmt.Sprint(stages), pol.String()}
+			for _, name := range workload.SPECint92Names() {
+				res, err := r.Simulate(name, stages, pol)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, stats.FormatFloat(res.MisspecsPerCommittedLoad(), 4))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}

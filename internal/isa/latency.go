@@ -1,0 +1,68 @@
+package isa
+
+// Latency describes the execution latency, in cycles, of one instruction
+// class on its functional unit.  The values reproduce Table 2 of the paper
+// ("Functional Unit Latencies"): simple integer operations complete in one
+// cycle, complex integer operations and floating point take longer, branches
+// resolve in a cycle, and memory operations pay the cache access on top of
+// the one-cycle address generation.
+type Latency struct {
+	// Issue is the number of cycles before a dependent instruction can use
+	// the result (the effective execution latency).
+	Issue int
+	// Pipelined reports whether a new operation of this class can start on
+	// the unit every cycle (true for everything except divides in this
+	// model).
+	Pipelined bool
+}
+
+// LatencyTable maps instruction classes to latencies.
+type LatencyTable [NumClasses]Latency
+
+// DefaultLatencies returns the functional-unit latencies used throughout the
+// evaluation, mirroring Table 2 of the paper: 1-cycle simple integer and
+// branch, 4-cycle multiply / 12-cycle divide on the complex integer unit
+// (modelled as 8 cycles for the class, with divides unpipelined), 4-cycle
+// floating point, and 1 cycle of address generation for memory operations
+// (cache access latency is charged by the memory system, not here).
+func DefaultLatencies() LatencyTable {
+	return LatencyTable{
+		ClassSimpleInt:  {Issue: 1, Pipelined: true},
+		ClassComplexInt: {Issue: 8, Pipelined: false},
+		ClassFloat:      {Issue: 4, Pipelined: true},
+		ClassMemory:     {Issue: 1, Pipelined: true},
+		ClassBranch:     {Issue: 1, Pipelined: true},
+		ClassOther:      {Issue: 1, Pipelined: true},
+	}
+}
+
+// OpLatency is a convenience that returns the issue latency of an individual
+// operation under the table.  Divide-class operations are given a longer
+// latency than multiplies to reflect the unpipelined divider.
+func (t LatencyTable) OpLatency(op Op) int {
+	base := t[ClassOf(op)].Issue
+	switch op {
+	case DIV, REM, FDIV:
+		return base + 4
+	}
+	return base
+}
+
+// FUCount describes how many functional units of each class a processing
+// unit has.  The defaults follow section 5.2 of the paper: 2 simple integer
+// units, 1 complex integer unit, 1 floating point unit, 1 branch unit and 1
+// memory unit per processing unit.
+type FUCount [NumClasses]int
+
+// DefaultFUCount returns the per-processing-unit functional unit mix from the
+// paper's configuration.
+func DefaultFUCount() FUCount {
+	return FUCount{
+		ClassSimpleInt:  2,
+		ClassComplexInt: 1,
+		ClassFloat:      1,
+		ClassMemory:     1,
+		ClassBranch:     1,
+		ClassOther:      2,
+	}
+}

@@ -1,0 +1,98 @@
+package memdep
+
+// DDC is the data dependence cache of section 5.3: a fully associative, LRU
+// managed cache of static store→load pairs.  A DDC of size n records the
+// dependences that caused the n most recent mis-speculations.  The paper uses
+// DDC hit/miss rates to show that the static dependences responsible for
+// mis-speculations are few and exhibit temporal locality (Tables 5 and 7).
+type DDC struct {
+	capacity int
+	clock    uint64
+	entries  map[PairKey]uint64 // pair -> last access time
+	hits     uint64
+	misses   uint64
+}
+
+// NewDDC creates a data dependence cache that can hold up to capacity static
+// dependence pairs.  A capacity of zero or less creates a cache that always
+// misses.
+func NewDDC(capacity int) *DDC {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &DDC{
+		capacity: capacity,
+		entries:  make(map[PairKey]uint64, capacity),
+	}
+}
+
+// Capacity returns the cache capacity in entries.
+func (d *DDC) Capacity() int { return d.capacity }
+
+// Access records a mis-speculation of the given static pair.  It returns true
+// if the pair was already cached (a hit).  On a miss the pair is inserted,
+// evicting the least recently used entry if the cache is full.
+func (d *DDC) Access(pair PairKey) bool {
+	d.clock++
+	if _, ok := d.entries[pair]; ok {
+		d.hits++
+		d.entries[pair] = d.clock
+		return true
+	}
+	d.misses++
+	if d.capacity == 0 {
+		return false
+	}
+	if len(d.entries) >= d.capacity {
+		d.evictLRU()
+	}
+	d.entries[pair] = d.clock
+	return false
+}
+
+func (d *DDC) evictLRU() {
+	var victim PairKey
+	oldest := uint64(1<<64 - 1)
+	for pair, when := range d.entries {
+		if when < oldest {
+			oldest = when
+			victim = pair
+		}
+	}
+	delete(d.entries, victim)
+}
+
+// Hits returns the number of accesses that found their pair cached.
+func (d *DDC) Hits() uint64 { return d.hits }
+
+// Misses returns the number of accesses that did not find their pair cached.
+func (d *DDC) Misses() uint64 { return d.misses }
+
+// Accesses returns the total number of accesses.
+func (d *DDC) Accesses() uint64 { return d.hits + d.misses }
+
+// MissRate returns misses divided by total accesses, as a fraction in [0,1].
+// It returns 0 when there have been no accesses.
+func (d *DDC) MissRate() float64 {
+	total := d.Accesses()
+	if total == 0 {
+		return 0
+	}
+	return float64(d.misses) / float64(total)
+}
+
+// Len returns the number of pairs currently cached.
+func (d *DDC) Len() int { return len(d.entries) }
+
+// Contains reports whether the pair is currently cached (without touching LRU
+// state or counters).
+func (d *DDC) Contains(pair PairKey) bool {
+	_, ok := d.entries[pair]
+	return ok
+}
+
+// Reset clears the cache contents and counters.
+func (d *DDC) Reset() {
+	d.entries = make(map[PairKey]uint64, d.capacity)
+	d.hits, d.misses, d.clock = 0, 0, 0
+}

@@ -1,0 +1,243 @@
+package memdep
+
+// mdptEntry is one entry of the memory dependence prediction table
+// (section 4.1): valid flag, load and store instruction addresses, the
+// dependence distance, the optional prediction state (an up/down saturating
+// counter), and -- for the ESYNC predictor -- the PC of the task that issued
+// the store.
+type mdptEntry struct {
+	valid       bool
+	loadPC      uint64
+	storePC     uint64
+	dist        uint64
+	counter     int
+	storeTaskPC uint64
+	lastUse     uint64
+}
+
+// MDPT is the memory dependence prediction table.  It is a small, fully
+// associative, LRU-managed table; an entry identifies a static dependence and
+// predicts whether its future dynamic instances should be synchronized.
+type MDPT struct {
+	cfg     Config
+	entries []mdptEntry
+	clock   uint64
+
+	allocations  uint64
+	replacements uint64
+	strengthens  uint64
+	weakens      uint64
+}
+
+// NewMDPT creates a prediction table from the configuration.
+func NewMDPT(cfg Config) *MDPT {
+	cfg = cfg.withDefaults()
+	return &MDPT{
+		cfg:     cfg,
+		entries: make([]mdptEntry, cfg.Entries),
+	}
+}
+
+// Len returns the number of valid entries.
+func (t *MDPT) Len() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Capacity returns the number of entries in the table.
+func (t *MDPT) Capacity() int { return len(t.entries) }
+
+func (t *MDPT) counterMax() int { return (1 << t.cfg.CounterBits) - 1 }
+
+func (t *MDPT) touch(e *mdptEntry) {
+	t.clock++
+	e.lastUse = t.clock
+}
+
+// find returns the entry for the exact static pair, or nil.
+func (t *MDPT) find(pair PairKey) *mdptEntry {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.loadPC == pair.LoadPC && e.storePC == pair.StorePC {
+			return e
+		}
+	}
+	return nil
+}
+
+// Lookup returns the prediction state for the pair, if present.
+func (t *MDPT) Lookup(pair PairKey) (Prediction, bool) {
+	if e := t.find(pair); e != nil {
+		return t.prediction(e), true
+	}
+	return Prediction{}, false
+}
+
+// Prediction is the externally visible state of one MDPT entry.
+type Prediction struct {
+	Pair        PairKey
+	Dist        uint64
+	Counter     int
+	StoreTaskPC uint64
+	// Sync reports whether the predictor would enforce synchronization for
+	// this entry (ignoring the ESYNC task-PC filter, which needs dynamic
+	// context -- see System.LoadIssue).
+	Sync bool
+}
+
+func (t *MDPT) prediction(e *mdptEntry) Prediction {
+	return Prediction{
+		Pair:        PairKey{LoadPC: e.loadPC, StorePC: e.storePC},
+		Dist:        e.dist,
+		Counter:     e.counter,
+		StoreTaskPC: e.storeTaskPC,
+		Sync:        t.predicts(e),
+	}
+}
+
+// predicts applies the prediction policy to an entry.
+func (t *MDPT) predicts(e *mdptEntry) bool {
+	switch t.cfg.Predictor {
+	case PredictAlways:
+		return true
+	default:
+		return e.counter >= t.cfg.Threshold
+	}
+}
+
+// MatchesForLoad returns the predictions of all valid entries whose load PC
+// matches (a load may have multiple static dependences, section 4.4.4).
+func (t *MDPT) MatchesForLoad(loadPC uint64) []Prediction {
+	var out []Prediction
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.loadPC == loadPC {
+			t.touch(e)
+			out = append(out, t.prediction(e))
+		}
+	}
+	return out
+}
+
+// MatchesForStore returns the predictions of all valid entries whose store PC
+// matches.
+func (t *MDPT) MatchesForStore(storePC uint64) []Prediction {
+	var out []Prediction
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.storePC == storePC {
+			t.touch(e)
+			out = append(out, t.prediction(e))
+		}
+	}
+	return out
+}
+
+// RecordMisspeculation allocates an entry for the pair (or strengthens an
+// existing one).  dist is the dependence distance -- the difference between
+// the load's and the store's instance numbers -- and storeTaskPC identifies
+// the task that issued the store (used by ESYNC).
+func (t *MDPT) RecordMisspeculation(pair PairKey, dist uint64, storeTaskPC uint64) {
+	if e := t.find(pair); e != nil {
+		e.dist = dist
+		e.storeTaskPC = storeTaskPC
+		t.strengthen(e)
+		t.touch(e)
+		return
+	}
+	e := t.victim()
+	if e.valid {
+		t.replacements++
+	}
+	t.allocations++
+	*e = mdptEntry{
+		valid:       true,
+		loadPC:      pair.LoadPC,
+		storePC:     pair.StorePC,
+		dist:        dist,
+		counter:     t.cfg.InitialCounter,
+		storeTaskPC: storeTaskPC,
+	}
+	t.touch(e)
+}
+
+// victim returns the entry to allocate into: an invalid entry if one exists,
+// otherwise the least recently used entry.
+func (t *MDPT) victim() *mdptEntry {
+	var lru *mdptEntry
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			return e
+		}
+		if lru == nil || e.lastUse < lru.lastUse {
+			lru = e
+		}
+	}
+	return lru
+}
+
+func (t *MDPT) strengthen(e *mdptEntry) {
+	if e.counter < t.counterMax() {
+		e.counter++
+	}
+	t.strengthens++
+}
+
+func (t *MDPT) weaken(e *mdptEntry) {
+	if e.counter > 0 {
+		e.counter--
+	}
+	t.weakens++
+}
+
+// Strengthen increases the confidence of the pair's entry (the predicted
+// dependence turned out to exist).  Unknown pairs are ignored.
+func (t *MDPT) Strengthen(pair PairKey) {
+	if e := t.find(pair); e != nil {
+		t.strengthen(e)
+	}
+}
+
+// Weaken decreases the confidence of the pair's entry (the predicted
+// dependence did not materialise, so the load was delayed unnecessarily).
+// Unknown pairs are ignored.
+func (t *MDPT) Weaken(pair PairKey) {
+	if e := t.find(pair); e != nil {
+		t.weaken(e)
+	}
+}
+
+// Stats summarises prediction-table activity.
+type MDPTStats struct {
+	Allocations  uint64
+	Replacements uint64
+	Strengthens  uint64
+	Weakens      uint64
+	LiveEntries  int
+}
+
+// Stats returns a snapshot of the table's counters.
+func (t *MDPT) Stats() MDPTStats {
+	return MDPTStats{
+		Allocations:  t.allocations,
+		Replacements: t.replacements,
+		Strengthens:  t.strengthens,
+		Weakens:      t.weakens,
+		LiveEntries:  t.Len(),
+	}
+}
+
+// Reset invalidates all entries and clears counters.
+func (t *MDPT) Reset() {
+	for i := range t.entries {
+		t.entries[i] = mdptEntry{}
+	}
+	t.clock = 0
+	t.allocations, t.replacements, t.strengthens, t.weakens = 0, 0, 0, 0
+}

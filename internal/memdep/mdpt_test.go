@@ -1,0 +1,249 @@
+package memdep
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testConfig(pred PredictorKind) Config {
+	return Config{Entries: 8, SyncSlots: 4, Predictor: pred}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Entries != 64 || c.CounterBits != 3 || c.Threshold != 3 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+	if c.InitialCounter <= c.Threshold-1 {
+		t.Errorf("initial counter %d should predict a dependence", c.InitialCounter)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := (Config{CounterBits: 2, Threshold: 5}).Validate(); err == nil {
+		t.Error("threshold exceeding counter range must be invalid")
+	}
+}
+
+func TestDefaultConfigStages(t *testing.T) {
+	c := DefaultConfig(8)
+	if c.SyncSlots != 8 || c.Entries != 64 {
+		t.Errorf("unexpected config: %+v", c)
+	}
+	if DefaultConfig(0).SyncSlots != 1 {
+		t.Error("stages < 1 must clamp to 1")
+	}
+}
+
+func TestPredictorKindString(t *testing.T) {
+	if PredictSync.String() != "SYNC" || PredictESync.String() != "ESYNC" || PredictAlways.String() != "ALWAYS-SYNC" {
+		t.Error("predictor names wrong")
+	}
+	if PredictorKind(42).String() == "" {
+		t.Error("unknown predictor must produce a string")
+	}
+}
+
+func TestMDPTAllocateAndLookup(t *testing.T) {
+	m := NewMDPT(testConfig(PredictSync))
+	pair := PairKey{LoadPC: 0x400, StorePC: 0x200}
+	if _, ok := m.Lookup(pair); ok {
+		t.Fatal("empty table must not contain the pair")
+	}
+	m.RecordMisspeculation(pair, 1, 0x1000)
+	pred, ok := m.Lookup(pair)
+	if !ok {
+		t.Fatal("pair must be present after a mis-speculation")
+	}
+	if pred.Dist != 1 || pred.StoreTaskPC != 0x1000 {
+		t.Errorf("prediction = %+v", pred)
+	}
+	if !pred.Sync {
+		t.Error("freshly allocated entry must predict synchronization")
+	}
+	if m.Len() != 1 {
+		t.Errorf("len = %d, want 1", m.Len())
+	}
+}
+
+func TestMDPTCounterSaturates(t *testing.T) {
+	m := NewMDPT(testConfig(PredictSync))
+	pair := PairKey{LoadPC: 1, StorePC: 2}
+	for i := 0; i < 20; i++ {
+		m.RecordMisspeculation(pair, 1, 0)
+	}
+	pred, _ := m.Lookup(pair)
+	if pred.Counter != 7 {
+		t.Errorf("counter = %d, want saturation at 7", pred.Counter)
+	}
+	for i := 0; i < 20; i++ {
+		m.Weaken(pair)
+	}
+	pred, _ = m.Lookup(pair)
+	if pred.Counter != 0 {
+		t.Errorf("counter = %d, want saturation at 0", pred.Counter)
+	}
+	if pred.Sync {
+		t.Error("fully weakened entry must not predict synchronization")
+	}
+}
+
+func TestMDPTWeakenBelowThresholdStopsPrediction(t *testing.T) {
+	cfg := testConfig(PredictSync)
+	m := NewMDPT(cfg)
+	pair := PairKey{LoadPC: 1, StorePC: 2}
+	m.RecordMisspeculation(pair, 1, 0)
+	// Initial counter is threshold+1 = 4; two weakens drop it to 2 (< 3).
+	m.Weaken(pair)
+	m.Weaken(pair)
+	pred, _ := m.Lookup(pair)
+	if pred.Sync {
+		t.Errorf("counter %d below threshold must not predict", pred.Counter)
+	}
+	// One more mis-speculation brings it back up.
+	m.RecordMisspeculation(pair, 1, 0)
+	pred, _ = m.Lookup(pair)
+	if !pred.Sync {
+		t.Error("mis-speculation must restore the prediction")
+	}
+}
+
+func TestMDPTAlwaysPredictorIgnoresCounter(t *testing.T) {
+	m := NewMDPT(testConfig(PredictAlways))
+	pair := PairKey{LoadPC: 1, StorePC: 2}
+	m.RecordMisspeculation(pair, 1, 0)
+	for i := 0; i < 10; i++ {
+		m.Weaken(pair)
+	}
+	pred, _ := m.Lookup(pair)
+	if !pred.Sync {
+		t.Error("ALWAYS predictor must always predict for a valid entry")
+	}
+}
+
+func TestMDPTLRUReplacement(t *testing.T) {
+	cfg := testConfig(PredictSync)
+	cfg.Entries = 4
+	m := NewMDPT(cfg)
+	pairs := make([]PairKey, 5)
+	for i := range pairs {
+		pairs[i] = PairKey{LoadPC: uint64(0x100 + 4*i), StorePC: uint64(0x200 + 4*i)}
+	}
+	for _, p := range pairs[:4] {
+		m.RecordMisspeculation(p, 1, 0)
+	}
+	// Touch pair 0 so pair 1 is the LRU victim.
+	m.MatchesForLoad(pairs[0].LoadPC)
+	m.RecordMisspeculation(pairs[4], 1, 0)
+	if _, ok := m.Lookup(pairs[1]); ok {
+		t.Error("LRU entry (pair 1) should have been replaced")
+	}
+	if _, ok := m.Lookup(pairs[0]); !ok {
+		t.Error("recently used entry (pair 0) should survive")
+	}
+	st := m.Stats()
+	if st.Replacements != 1 || st.Allocations != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMDPTMultipleDependencesPerLoad(t *testing.T) {
+	m := NewMDPT(testConfig(PredictSync))
+	ld := uint64(0x500)
+	m.RecordMisspeculation(PairKey{LoadPC: ld, StorePC: 0x100}, 1, 0)
+	m.RecordMisspeculation(PairKey{LoadPC: ld, StorePC: 0x104}, 2, 0)
+	matches := m.MatchesForLoad(ld)
+	if len(matches) != 2 {
+		t.Fatalf("matches = %d, want 2", len(matches))
+	}
+	stores := map[uint64]bool{}
+	for _, p := range matches {
+		stores[p.Pair.StorePC] = true
+	}
+	if !stores[0x100] || !stores[0x104] {
+		t.Error("both static dependences must match")
+	}
+	if got := m.MatchesForStore(0x104); len(got) != 1 {
+		t.Errorf("store matches = %d, want 1", len(got))
+	}
+}
+
+func TestMDPTStrengthenWeakenUnknownPairIgnored(t *testing.T) {
+	m := NewMDPT(testConfig(PredictSync))
+	m.Strengthen(PairKey{LoadPC: 9, StorePC: 9})
+	m.Weaken(PairKey{LoadPC: 9, StorePC: 9})
+	if m.Len() != 0 {
+		t.Error("strengthen/weaken must not allocate")
+	}
+}
+
+func TestMDPTDistUpdatedOnRepeatMisspeculation(t *testing.T) {
+	m := NewMDPT(testConfig(PredictSync))
+	pair := PairKey{LoadPC: 1, StorePC: 2}
+	m.RecordMisspeculation(pair, 1, 0xa)
+	m.RecordMisspeculation(pair, 3, 0xb)
+	pred, _ := m.Lookup(pair)
+	if pred.Dist != 3 || pred.StoreTaskPC != 0xb {
+		t.Errorf("entry not updated: %+v", pred)
+	}
+}
+
+func TestMDPTReset(t *testing.T) {
+	m := NewMDPT(testConfig(PredictSync))
+	m.RecordMisspeculation(PairKey{LoadPC: 1, StorePC: 2}, 1, 0)
+	m.Reset()
+	if m.Len() != 0 {
+		t.Error("reset must clear entries")
+	}
+	if m.Stats() != (MDPTStats{}) {
+		t.Error("reset must clear stats")
+	}
+}
+
+// Property: the number of valid entries never exceeds the capacity, and a
+// pair that was just recorded is always found.
+func TestMDPTCapacityInvariant(t *testing.T) {
+	f := func(events []uint16) bool {
+		cfg := testConfig(PredictSync)
+		cfg.Entries = 16
+		m := NewMDPT(cfg)
+		for _, ev := range events {
+			pair := PairKey{LoadPC: uint64(ev % 97), StorePC: uint64(ev % 53)}
+			m.RecordMisspeculation(pair, uint64(ev%8), uint64(ev))
+			if m.Len() > 16 {
+				return false
+			}
+			if _, ok := m.Lookup(pair); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: counters always stay within [0, 2^bits-1].
+func TestMDPTCounterBounds(t *testing.T) {
+	f := func(ops []bool) bool {
+		m := NewMDPT(testConfig(PredictSync))
+		pair := PairKey{LoadPC: 1, StorePC: 2}
+		m.RecordMisspeculation(pair, 1, 0)
+		for _, strengthen := range ops {
+			if strengthen {
+				m.Strengthen(pair)
+			} else {
+				m.Weaken(pair)
+			}
+			pred, ok := m.Lookup(pair)
+			if !ok || pred.Counter < 0 || pred.Counter > 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+package memdep
+
+// mdstEntry is one entry of the memory dependence synchronization table
+// (section 4.2): valid flag, load and store instruction addresses, load and
+// store identifiers (assigned by the out-of-order core), the dynamic instance
+// tag, and the full/empty flag that acts as the condition variable.
+type mdstEntry struct {
+	valid    bool
+	loadPC   uint64
+	storePC  uint64
+	ldid     int64
+	stid     int64
+	instance uint64
+	full     bool
+	lastUse  uint64
+}
+
+// invalidID marks an identifier slot whose instruction has not been seen yet
+// (for example the load identifier of an entry allocated by a store).
+const invalidID int64 = -1
+
+// MDST is the memory dependence synchronization table: a dynamic pool of
+// condition variables together with the mechanism to associate them with
+// dynamic store→load instruction pairs.
+type MDST struct {
+	entries []mdstEntry
+	clock   uint64
+
+	allocations    uint64
+	replacements   uint64
+	waitsRecorded  uint64
+	signalsMatched uint64
+	freedStale     uint64
+}
+
+// NewMDST creates a synchronization table with the given number of entries.
+func NewMDST(capacity int) *MDST {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MDST{entries: make([]mdstEntry, capacity)}
+}
+
+// Capacity returns the number of entries.
+func (t *MDST) Capacity() int { return len(t.entries) }
+
+// Len returns the number of valid entries.
+func (t *MDST) Len() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *MDST) touch(e *mdstEntry) {
+	t.clock++
+	e.lastUse = t.clock
+}
+
+// find locates the entry for a specific dynamic dependence instance.
+func (t *MDST) find(pair PairKey, instance uint64) *mdstEntry {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.loadPC == pair.LoadPC && e.storePC == pair.StorePC && e.instance == instance {
+			return e
+		}
+	}
+	return nil
+}
+
+// victim returns an entry to allocate into: an invalid entry if any,
+// otherwise the least recently used entry whose full/empty flag is full (a
+// synchronization that has already fired and is only waiting for its load),
+// otherwise the least recently used entry overall (section 4.4.2 discusses
+// both reclamation policies).
+func (t *MDST) victim() *mdstEntry {
+	var lruFull, lruAny *mdstEntry
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			return e
+		}
+		if e.full && (lruFull == nil || e.lastUse < lruFull.lastUse) {
+			lruFull = e
+		}
+		if lruAny == nil || e.lastUse < lruAny.lastUse {
+			lruAny = e
+		}
+	}
+	if lruFull != nil {
+		return lruFull
+	}
+	return lruAny
+}
+
+// AllocWaiting allocates (or reuses) an entry for a load that must wait: the
+// full/empty flag is set to empty and the load identifier recorded.  It
+// returns false if an entry for this dynamic dependence already exists with
+// the full flag set -- in that case the store has already signalled, the
+// entry is consumed (freed) and the load does not need to wait.
+func (t *MDST) AllocWaiting(pair PairKey, instance uint64, ldid int64) (mustWait bool) {
+	if e := t.find(pair, instance); e != nil {
+		t.touch(e)
+		if e.full {
+			// Wait-after-signal: the store has already set the condition
+			// variable; consume the entry and let the load continue
+			// (figure 4 parts (e)/(f) of the paper).
+			t.signalsMatched++
+			e.valid = false
+			return false
+		}
+		// A waiting entry already exists (for example allocated when the
+		// prediction was first made); just record the load identifier.
+		e.ldid = ldid
+		t.waitsRecorded++
+		return true
+	}
+	e := t.victim()
+	if e.valid {
+		t.replacements++
+	}
+	t.allocations++
+	*e = mdstEntry{
+		valid:    true,
+		loadPC:   pair.LoadPC,
+		storePC:  pair.StorePC,
+		ldid:     ldid,
+		stid:     invalidID,
+		instance: instance,
+		full:     false,
+	}
+	t.touch(e)
+	t.waitsRecorded++
+	return true
+}
+
+// Signal is invoked when a store that matches an MDPT entry is ready to
+// access memory.  instance is the instance number of the load that should be
+// synchronized (store instance + dependence distance).  If a waiting entry is
+// found its load identifier is returned (the load may now proceed) and the
+// entry is freed.  If no entry exists, a new one is allocated with the
+// full/empty flag set to full so that the load, when it arrives, continues
+// without delay.
+func (t *MDST) Signal(pair PairKey, instance uint64, stid int64) (ldid int64, released bool) {
+	if e := t.find(pair, instance); e != nil {
+		t.touch(e)
+		if !e.full && e.ldid != invalidID {
+			// Signal-after-wait: release the waiting load and free the entry
+			// (figure 4 part (d)).
+			t.signalsMatched++
+			id := e.ldid
+			e.valid = false
+			return id, true
+		}
+		// The entry is already full (a duplicate signal): nothing to release.
+		e.stid = stid
+		return invalidID, false
+	}
+	e := t.victim()
+	if e.valid {
+		t.replacements++
+	}
+	t.allocations++
+	*e = mdstEntry{
+		valid:    true,
+		loadPC:   pair.LoadPC,
+		storePC:  pair.StorePC,
+		ldid:     invalidID,
+		stid:     stid,
+		instance: instance,
+		full:     true,
+	}
+	t.touch(e)
+	return invalidID, false
+}
+
+// ReleaseLoad frees all entries recorded for the given load identifier.  It
+// is used both when a waiting load is released because all prior stores have
+// resolved (incomplete synchronization, section 4.4.2) and when a load is
+// squashed (section 4.4.3).  It returns the static pairs of the freed entries
+// so the caller can update the prediction table.
+func (t *MDST) ReleaseLoad(ldid int64) []PairKey {
+	var freed []PairKey
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.ldid == ldid {
+			freed = append(freed, PairKey{LoadPC: e.loadPC, StorePC: e.storePC})
+			e.valid = false
+			t.freedStale++
+		}
+	}
+	return freed
+}
+
+// ReleaseStore frees all entries allocated by the given store identifier that
+// never met their load (used on store squash).
+func (t *MDST) ReleaseStore(stid int64) []PairKey {
+	var freed []PairKey
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.stid == stid && e.ldid == invalidID {
+			freed = append(freed, PairKey{LoadPC: e.loadPC, StorePC: e.storePC})
+			e.valid = false
+			t.freedStale++
+		}
+	}
+	return freed
+}
+
+// WaitingLoads returns the load identifiers of all entries whose full/empty
+// flag is still empty (loads currently blocked on a condition variable).
+func (t *MDST) WaitingLoads() []int64 {
+	var out []int64
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && !e.full && e.ldid != invalidID {
+			out = append(out, e.ldid)
+		}
+	}
+	return out
+}
+
+// HasWaiter reports whether the given load identifier still has at least one
+// empty (waiting) entry -- used to decide whether a load released by one
+// signal must keep waiting for further predicted dependences (section 4.4.4).
+func (t *MDST) HasWaiter(ldid int64) bool {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && !e.full && e.ldid == ldid {
+			return true
+		}
+	}
+	return false
+}
+
+// MDSTStats summarises synchronization-table activity.
+type MDSTStats struct {
+	Allocations    uint64
+	Replacements   uint64
+	WaitsRecorded  uint64
+	SignalsMatched uint64
+	FreedStale     uint64
+	LiveEntries    int
+}
+
+// Stats returns a snapshot of the table's counters.
+func (t *MDST) Stats() MDSTStats {
+	return MDSTStats{
+		Allocations:    t.allocations,
+		Replacements:   t.replacements,
+		WaitsRecorded:  t.waitsRecorded,
+		SignalsMatched: t.signalsMatched,
+		FreedStale:     t.freedStale,
+		LiveEntries:    t.Len(),
+	}
+}
+
+// Reset invalidates all entries and clears counters.
+func (t *MDST) Reset() {
+	for i := range t.entries {
+		t.entries[i] = mdstEntry{}
+	}
+	t.clock = 0
+	t.allocations, t.replacements, t.waitsRecorded, t.signalsMatched, t.freedStale = 0, 0, 0, 0, 0
+}

@@ -1,0 +1,145 @@
+// Package memdep implements the paper's primary contribution: dynamic memory
+// dependence prediction and synchronization.
+//
+// The package provides:
+//
+//   - MDPT, the memory dependence prediction table (section 4.1): identifies
+//     static store→load pairs whose dynamic instances have caused
+//     mis-speculations and predicts whether future instances should be
+//     synchronized.
+//   - MDST, the memory dependence synchronization table (section 4.2): a pool
+//     of condition variables (full/empty flags) used to synchronize a dynamic
+//     instance of a predicted store→load pair.
+//   - System, the combined structure evaluated in section 5.5 of the paper
+//     (one prediction entry carrying one synchronization slot per stage),
+//     which is the interface the Multiscalar timing simulator drives.
+//   - Predictors: always-synchronize, the 3-bit up/down counter ("SYNC") and
+//     the counter enhanced with the producing task's PC ("ESYNC").
+//   - DDC, the data dependence cache used by the dependence-locality studies
+//     of section 5.3 (Tables 5 and 7).
+//
+// Dynamic instances of a static dependence are distinguished with the
+// dependence-distance scheme of section 3: instance numbers are approximated
+// by Multiscalar task numbers, and an MDPT entry records the distance between
+// the mis-speculated store and load instances.  The data-address tagging
+// alternative the paper sketches is available behind Config.TagByAddress for
+// ablation studies.
+package memdep
+
+import "fmt"
+
+// PairKey identifies a static dependence edge by the program counters of the
+// load and the store.
+type PairKey struct {
+	LoadPC  uint64
+	StorePC uint64
+}
+
+// String implements fmt.Stringer.
+func (k PairKey) String() string {
+	return fmt.Sprintf("(st@%#x -> ld@%#x)", k.StorePC, k.LoadPC)
+}
+
+// PredictorKind selects the prediction policy attached to MDPT entries.
+type PredictorKind int
+
+const (
+	// PredictAlways omits the prediction field: any matching entry predicts
+	// synchronization (section 4.1 notes the field is optional).
+	PredictAlways PredictorKind = iota
+	// PredictSync is the baseline 3-bit up/down saturating counter with a
+	// threshold of 3 ("SYNC" in section 5.5).
+	PredictSync
+	// PredictESync is the enhanced predictor: the counter plus the PC of the
+	// task that issued the store; synchronization is enforced only when the
+	// task at the recorded dependence distance matches ("ESYNC").
+	PredictESync
+)
+
+// String implements fmt.Stringer.
+func (k PredictorKind) String() string {
+	switch k {
+	case PredictAlways:
+		return "ALWAYS-SYNC"
+	case PredictSync:
+		return "SYNC"
+	case PredictESync:
+		return "ESYNC"
+	default:
+		return fmt.Sprintf("predictor(%d)", int(k))
+	}
+}
+
+// Config describes a prediction/synchronization system.
+type Config struct {
+	// Entries is the number of MDPT entries (the paper evaluates 64).
+	Entries int
+	// SyncSlots is the number of MDST entries carried per prediction entry in
+	// the combined structure -- one per stage in the paper's evaluated
+	// configuration.
+	SyncSlots int
+	// Predictor selects the prediction policy.
+	Predictor PredictorKind
+	// CounterBits is the width of the up/down counter (default 3).
+	CounterBits int
+	// Threshold is the counter value at or above which a dependence (and
+	// hence synchronization) is predicted (default 3).
+	Threshold int
+	// InitialCounter is the counter value given to a newly allocated entry
+	// (default Threshold+1, so a fresh mis-speculation predicts
+	// synchronization with a little hysteresis).
+	InitialCounter int
+	// TagByAddress switches dynamic-instance tagging from the dependence
+	// distance scheme to the data-address scheme (ablation).
+	TagByAddress bool
+}
+
+// DefaultConfig returns the configuration evaluated in the paper: a 64-entry
+// combined table with as many synchronization slots per entry as stages and
+// the 3-bit counter predictor.
+func DefaultConfig(stages int) Config {
+	if stages < 1 {
+		stages = 1
+	}
+	return Config{
+		Entries:     64,
+		SyncSlots:   stages,
+		Predictor:   PredictSync,
+		CounterBits: 3,
+		Threshold:   3,
+	}
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Entries <= 0 {
+		c.Entries = 64
+	}
+	if c.SyncSlots <= 0 {
+		c.SyncSlots = 4
+	}
+	if c.CounterBits <= 0 {
+		c.CounterBits = 3
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.InitialCounter <= 0 {
+		c.InitialCounter = c.Threshold + 1
+	}
+	max := (1 << c.CounterBits) - 1
+	if c.InitialCounter > max {
+		c.InitialCounter = max
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	if d.Threshold >= 1<<d.CounterBits {
+		return fmt.Errorf("memdep: threshold %d does not fit in %d counter bits",
+			d.Threshold, d.CounterBits)
+	}
+	return nil
+}

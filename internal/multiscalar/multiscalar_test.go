@@ -1,0 +1,336 @@
+package multiscalar
+
+import (
+	"testing"
+
+	"memdep/internal/isa"
+	"memdep/internal/policy"
+	"memdep/internal/program"
+	"memdep/internal/trace"
+	"memdep/internal/workload"
+)
+
+// buildRecurrence builds a small program with one hot cross-task store→load
+// recurrence: each loop iteration (one task) loads a global, does some work,
+// and stores it back late in the iteration.
+func buildRecurrence(iters int64) *program.Program {
+	b := program.NewBuilder("recurrence")
+	b.AllocWords("acc", 1)
+	b.AllocWords("scratch", 64)
+	b.LoadAddr(27, "acc")
+	b.LoadAddr(26, "scratch")
+	b.LoadImm(25, iters)
+	b.Loop(24, 25, true, func() {
+		b.Load(2, 27, 0) // early load of the accumulator
+		// Filler work so the store lands late in the task.
+		for i := 0; i < 10; i++ {
+			b.AddI(3, 24, int64(i))
+			b.Mul(3, 3, 3)
+			b.AndI(3, 3, 0xff)
+			b.SllI(4, 3, 3)
+			b.Add(4, 4, 26)
+			b.Store(3, 4, 0)
+			b.Load(5, 4, 0)
+			b.Add(2, 2, 5)
+		}
+		b.Store(2, 27, 0) // late store of the accumulator
+	})
+	b.Load(isa.RV, 27, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func prep(t *testing.T, p *program.Program, max uint64) *WorkItem {
+	t.Helper()
+	w, err := Preprocess(p, trace.Config{MaxInstructions: max})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	return w
+}
+
+func simulate(t *testing.T, w *WorkItem, stages int, pol policy.Kind) Result {
+	t.Helper()
+	res, err := Simulate(w, DefaultConfig(stages, pol))
+	if err != nil {
+		t.Fatalf("Simulate(%v, %d stages): %v", pol, stages, err)
+	}
+	return res
+}
+
+func TestPreprocessCounts(t *testing.T) {
+	p := buildRecurrence(20)
+	w := prep(t, p, 0)
+	if w.Instructions == 0 || w.Loads == 0 || w.Stores == 0 {
+		t.Fatalf("work item empty: %+v", w)
+	}
+	if w.Tasks() < 20 {
+		t.Errorf("tasks = %d, want >= 20 (one per iteration)", w.Tasks())
+	}
+	if w.AvgTaskSize() <= 0 {
+		t.Error("average task size must be positive")
+	}
+	// Committed counts must match an independent functional run.
+	st, err := trace.Run(p, trace.Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions != w.Instructions || st.Loads != w.Loads || st.Stores != w.Stores {
+		t.Errorf("work item counts %d/%d/%d do not match functional run %d/%d/%d",
+			w.Instructions, w.Loads, w.Stores, st.Instructions, st.Loads, st.Stores)
+	}
+}
+
+func TestPreprocessFindsCrossTaskProducers(t *testing.T) {
+	p := buildRecurrence(10)
+	w := prep(t, p, 0)
+	cross := 0
+	for ti := range w.tasks {
+		for _, r := range w.tasks[ti].insts {
+			if r.isLoad && r.hasMemProd && r.memProd.taskIdx != w.tasks[ti].id {
+				cross++
+			}
+		}
+	}
+	if cross < 5 {
+		t.Errorf("cross-task memory producers = %d, want >= 5", cross)
+	}
+}
+
+func TestConfigDefaultsAndValidate(t *testing.T) {
+	cfg := DefaultConfig(8, policy.Sync)
+	if cfg.Stages != 8 || cfg.IssueWidth != 2 {
+		t.Errorf("config = %+v", cfg)
+	}
+	if cfg.MemDep.SyncSlots != 8 {
+		t.Errorf("memdep sync slots = %d, want 8", cfg.MemDep.SyncSlots)
+	}
+	if pk := cfg.MemDep.Predictor; pk.String() != "SYNC" {
+		t.Errorf("predictor = %v", pk)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	bad := Config{Policy: policy.Kind(99)}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid policy must fail validation")
+	}
+}
+
+func TestSimulateCompletesAndCommitsEverything(t *testing.T) {
+	w := prep(t, buildRecurrence(50), 0)
+	for _, pol := range policy.All() {
+		res := simulate(t, w, 4, pol)
+		if res.Instructions != w.Instructions {
+			t.Errorf("%v: committed %d instructions, want %d", pol, res.Instructions, w.Instructions)
+		}
+		if res.Tasks != uint64(w.Tasks()) {
+			t.Errorf("%v: committed %d tasks, want %d", pol, res.Tasks, w.Tasks())
+		}
+		if res.Cycles <= 0 || res.IPC() <= 0 {
+			t.Errorf("%v: cycles=%d ipc=%v", pol, res.Cycles, res.IPC())
+		}
+	}
+}
+
+func TestOraclePoliciesNeverMisspeculate(t *testing.T) {
+	w := prep(t, buildRecurrence(60), 0)
+	for _, stages := range []int{4, 8} {
+		for _, pol := range []policy.Kind{policy.Never, policy.Wait, policy.PerfectSync} {
+			res := simulate(t, w, stages, pol)
+			if res.Misspeculations != 0 {
+				t.Errorf("%v/%d stages: %d mis-speculations, want 0", pol, stages, res.Misspeculations)
+			}
+			if res.SquashedInstructions != 0 {
+				t.Errorf("%v/%d stages: squashed %d instructions, want 0", pol, stages, res.SquashedInstructions)
+			}
+		}
+	}
+}
+
+func TestBlindSpeculationMisspeculatesOnRecurrence(t *testing.T) {
+	w := prep(t, buildRecurrence(60), 0)
+	res := simulate(t, w, 4, policy.Always)
+	if res.Misspeculations == 0 {
+		t.Error("blind speculation on a tight recurrence must mis-speculate")
+	}
+	if len(res.MisspecPairs) == 0 {
+		t.Error("mis-speculation pairs must be recorded")
+	}
+}
+
+func TestPerfectSyncIsUpperBound(t *testing.T) {
+	w := prep(t, workload.MustGet("compress").Build(1), 40_000)
+	for _, stages := range []int{4, 8} {
+		psync := simulate(t, w, stages, policy.PerfectSync)
+		for _, pol := range []policy.Kind{policy.Never, policy.Always, policy.Wait, policy.Sync, policy.ESync} {
+			res := simulate(t, w, stages, pol)
+			// Allow a 2% tolerance: PSYNC is an idealised policy, not a
+			// strict bound on every cycle-level interaction.
+			if float64(res.Cycles) < float64(psync.Cycles)*0.98 {
+				t.Errorf("%v/%d stages: %d cycles beats PSYNC's %d", pol, stages, res.Cycles, psync.Cycles)
+			}
+		}
+	}
+}
+
+func TestAlwaysBeatsNeverOnWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping workload timing comparison in -short mode")
+	}
+	for _, name := range []string{"compress", "espresso", "xlisp"} {
+		w := prep(t, workload.MustGet(name).Build(1), 40_000)
+		never := simulate(t, w, 4, policy.Never)
+		always := simulate(t, w, 4, policy.Always)
+		if always.Cycles >= never.Cycles {
+			t.Errorf("%s: ALWAYS (%d cycles) must beat NEVER (%d cycles)",
+				name, always.Cycles, never.Cycles)
+		}
+	}
+}
+
+func TestMechanismReducesMisspeculations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping workload timing comparison in -short mode")
+	}
+	w := prep(t, workload.MustGet("compress").Build(1), 40_000)
+	always := simulate(t, w, 4, policy.Always)
+	sync := simulate(t, w, 4, policy.Sync)
+	if always.Misspeculations == 0 {
+		t.Fatal("expected mis-speculations under blind speculation")
+	}
+	if sync.Misspeculations*4 > always.Misspeculations {
+		t.Errorf("SYNC misspeculations %d not much lower than ALWAYS %d",
+			sync.Misspeculations, always.Misspeculations)
+	}
+	if sync.Cycles >= always.Cycles {
+		t.Errorf("SYNC (%d cycles) should beat ALWAYS (%d cycles) on compress",
+			sync.Cycles, always.Cycles)
+	}
+}
+
+func TestCommittedWorkIdenticalAcrossPolicies(t *testing.T) {
+	w := prep(t, buildRecurrence(40), 0)
+	var ref Result
+	for i, pol := range policy.All() {
+		res := simulate(t, w, 4, pol)
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res.Instructions != ref.Instructions || res.Loads != ref.Loads ||
+			res.Stores != ref.Stores || res.Tasks != ref.Tasks {
+			t.Errorf("%v: committed work differs from %v", pol, ref.Policy)
+		}
+	}
+}
+
+func TestSimulationDeterministic(t *testing.T) {
+	w := prep(t, buildRecurrence(40), 0)
+	a := simulate(t, w, 4, policy.Sync)
+	b := simulate(t, w, 4, policy.Sync)
+	if a.Cycles != b.Cycles || a.Misspeculations != b.Misspeculations ||
+		a.LoadsWaited != b.LoadsWaited {
+		t.Errorf("simulation is not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPredictionBreakdownCoversAllLoads(t *testing.T) {
+	w := prep(t, buildRecurrence(40), 0)
+	res := simulate(t, w, 4, policy.Sync)
+	if res.Breakdown.Total() != res.Loads {
+		t.Errorf("breakdown total %d != committed loads %d", res.Breakdown.Total(), res.Loads)
+	}
+	sum := 0.0
+	for p := 0; p < 2; p++ {
+		for a := 0; a < 2; a++ {
+			sum += res.Breakdown.Percent(p, a)
+		}
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("breakdown percentages sum to %v", sum)
+	}
+}
+
+func TestDDCFeedOnMultiscalarMisspecs(t *testing.T) {
+	w := prep(t, buildRecurrence(60), 0)
+	cfg := DefaultConfig(4, policy.Always)
+	cfg.DDCSizes = []int{4, 64}
+	res, err := Simulate(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misspeculations == 0 {
+		t.Skip("no mis-speculations observed; DDC feed not exercised")
+	}
+	if len(res.DDCMissRate) != 2 {
+		t.Fatalf("DDC miss rates = %v", res.DDCMissRate)
+	}
+	if res.DDCMissRate[64] > res.DDCMissRate[4] {
+		t.Errorf("larger DDC must not miss more: %v", res.DDCMissRate)
+	}
+}
+
+func TestMoreStagesMoreMisspeculations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping workload timing comparison in -short mode")
+	}
+	w := prep(t, workload.MustGet("xlisp").Build(1), 40_000)
+	s4 := simulate(t, w, 4, policy.Always)
+	s8 := simulate(t, w, 8, policy.Always)
+	if s8.Misspeculations < s4.Misspeculations {
+		t.Errorf("8 stages (%d) should see at least as many mis-speculations as 4 (%d)",
+			s8.Misspeculations, s4.Misspeculations)
+	}
+}
+
+func TestResultDerivedMetrics(t *testing.T) {
+	r := Result{Cycles: 1000, Instructions: 2500, Loads: 500, Misspeculations: 25}
+	if r.IPC() != 2.5 {
+		t.Errorf("IPC = %v", r.IPC())
+	}
+	if r.MisspecsPerCommittedLoad() != 0.05 {
+		t.Errorf("misspec/load = %v", r.MisspecsPerCommittedLoad())
+	}
+	base := Result{Cycles: 1200}
+	if got := r.SpeedupOver(base); got < 19.9 || got > 20.1 {
+		t.Errorf("speedup = %v, want 20%%", got)
+	}
+	var zero Result
+	if zero.IPC() != 0 || zero.MisspecsPerCommittedLoad() != 0 || zero.SpeedupOver(base) != 0 {
+		t.Error("zero result metrics must be zero")
+	}
+}
+
+func TestIDEncodeDecode(t *testing.T) {
+	cases := []struct{ task, inst int }{{0, 0}, {1, 5}, {999, 123}, {12345, 999_999}}
+	for _, c := range cases {
+		id := idEncode(c.task, c.inst)
+		ta, in := idDecode(id)
+		if ta != c.task || in != c.inst {
+			t.Errorf("round trip (%d,%d) -> %d -> (%d,%d)", c.task, c.inst, id, ta, in)
+		}
+	}
+}
+
+func TestStagesAffectThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping workload timing comparison in -short mode")
+	}
+	w := prep(t, workload.MustGet("espresso").Build(1), 40_000)
+	s4 := simulate(t, w, 4, policy.PerfectSync)
+	s8 := simulate(t, w, 8, policy.PerfectSync)
+	if s8.Cycles >= s4.Cycles {
+		t.Errorf("8 stages (%d cycles) should not be slower than 4 stages (%d cycles) under PSYNC",
+			s8.Cycles, s4.Cycles)
+	}
+}
+
+func TestSimulateErrorOnCycleLimit(t *testing.T) {
+	w := prep(t, buildRecurrence(50), 0)
+	cfg := DefaultConfig(4, policy.Always)
+	cfg.MaxCycles = 10
+	if _, err := Simulate(w, cfg); err == nil {
+		t.Error("expected an error when the cycle limit is exceeded")
+	}
+}

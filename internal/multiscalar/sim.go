@@ -1,0 +1,626 @@
+package multiscalar
+
+import (
+	"fmt"
+
+	"memdep/internal/arb"
+	"memdep/internal/cache"
+	"memdep/internal/ctrlflow"
+	"memdep/internal/isa"
+	"memdep/internal/memdep"
+	"memdep/internal/policy"
+)
+
+// idEncode builds the load/store identifier (LDID/STID) for a dynamic memory
+// operation from its task index and instruction index.  The identifier is
+// stable across squash/re-execution, which is exactly what the MDST needs to
+// invalidate the entries of squashed instructions.
+func idEncode(taskIdx, instIdx int) int64 {
+	return int64(taskIdx)*1_000_000 + int64(instIdx)
+}
+
+// idDecode is the inverse of idEncode.
+func idDecode(id int64) (taskIdx, instIdx int) {
+	return int(id / 1_000_000), int(id % 1_000_000)
+}
+
+type waitKind int
+
+const (
+	waitAllPrior waitKind = iota // wait until all earlier in-flight stores executed
+	waitProducer                 // wait for a specific producer store (PSYNC)
+	waitSignal                   // wait for an MDST signal (SYNC/ESYNC)
+)
+
+type waitState struct {
+	kind     waitKind
+	since    int64
+	ldid     int64
+	producer prodRef
+	signaled bool
+}
+
+// loadRecord captures, for one committed load, what was predicted and what
+// was actually the case -- the raw material of Table 8 and of the
+// non-speculative predictor updates.
+type loadRecord struct {
+	predicted  bool
+	actualDep  bool
+	producerPC uint64
+	pairs      []memdep.PairKey
+	ldid       int64
+	queried    bool
+}
+
+// execTask is the execution state of one task on its processing unit.
+type execTask struct {
+	rec  *taskRec
+	unit int
+
+	next       int
+	done       []int64
+	storesLeft int
+	startAt    int64
+	finishedAt int64
+	committed  bool
+
+	fuNext         [isa.NumClasses][]int64
+	lastFetchBlock uint64
+	fetchReady     int64
+
+	wait     *waitState
+	loadInfo map[int]*loadRecord
+}
+
+type sim struct {
+	cfg   Config
+	w     *WorkItem
+	tasks []execTask
+
+	hier *cache.Hierarchy
+	arb  *arb.ARB
+	seq  *ctrlflow.Sequencer
+	mds  *memdep.System
+	ddcs []*memdep.DDC
+
+	cycle        int64
+	head         int
+	nextDispatch int
+
+	arbBypasses uint64
+	res         Result
+}
+
+// Simulate runs the work item on the configured processor and returns the
+// timing and dependence statistics.
+func Simulate(w *WorkItem, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	s := &sim{
+		cfg:  cfg,
+		w:    w,
+		hier: cache.NewHierarchy(cfg.Cache),
+		arb:  arb.New(cfg.ARB),
+		seq:  ctrlflow.NewSequencer(cfg.Sequencer),
+	}
+	if cfg.Policy.UsesPredictor() {
+		s.mds = memdep.NewSystem(cfg.MemDep)
+	}
+	for _, size := range cfg.DDCSizes {
+		s.ddcs = append(s.ddcs, memdep.NewDDC(size))
+	}
+	s.tasks = make([]execTask, len(w.tasks))
+	for i := range s.tasks {
+		s.tasks[i].rec = &w.tasks[i]
+	}
+	if err := s.run(); err != nil {
+		return Result{}, err
+	}
+	return s.result(), nil
+}
+
+func (s *sim) run() error {
+	// Dispatch the initial window.
+	for i := 0; i < s.cfg.Stages && i < len(s.tasks); i++ {
+		s.dispatch(i, int64(i)*int64(s.cfg.DispatchLatency))
+	}
+	for s.head < len(s.tasks) {
+		if s.cycle > s.cfg.MaxCycles {
+			return fmt.Errorf("multiscalar: %q exceeded the cycle limit of %d under %v",
+				s.w.Name, s.cfg.MaxCycles, s.cfg.Policy)
+		}
+		for i := s.head; i < s.nextDispatch; i++ {
+			t := &s.tasks[i]
+			if !t.committed {
+				s.advance(t)
+			}
+		}
+		s.tryCommit()
+		s.cycle++
+	}
+	return nil
+}
+
+// dispatch assigns the task to its processing unit and charges the sequencer
+// costs (next-task prediction, descriptor cache).
+func (s *sim) dispatch(taskIdx int, when int64) {
+	t := &s.tasks[taskIdx]
+	t.unit = taskIdx % s.cfg.Stages
+	prevPC := uint64(0)
+	prevKnown := false
+	if taskIdx > 0 {
+		prevPC = s.tasks[taskIdx-1].rec.pc
+		prevKnown = true
+	}
+	out := s.seq.Dispatch(prevPC, prevKnown, t.rec.pc)
+	start := when + int64(s.cfg.DispatchLatency)
+	if !out.PredictedCorrectly {
+		start += int64(s.cfg.MispredictPenalty)
+	}
+	if !out.DescriptorHit {
+		start += int64(s.cfg.DescriptorMissPenalty)
+	}
+	t.done = make([]int64, len(t.rec.insts))
+	s.resetExecState(t, start)
+	s.nextDispatch = taskIdx + 1
+}
+
+// resetExecState prepares (or re-prepares, after a squash) a task for
+// execution starting at the given cycle.
+func (s *sim) resetExecState(t *execTask, start int64) {
+	for i := range t.done {
+		t.done[i] = -1
+	}
+	t.next = 0
+	t.storesLeft = t.rec.stores
+	t.startAt = start
+	t.finishedAt = start
+	t.wait = nil
+	t.loadInfo = make(map[int]*loadRecord, t.rec.loads)
+	t.lastFetchBlock = ^uint64(0)
+	t.fetchReady = 0
+	for c := 0; c < int(isa.NumClasses); c++ {
+		n := s.cfg.FUs[c]
+		if n < 1 {
+			n = 1
+		}
+		if len(t.fuNext[c]) != n {
+			t.fuNext[c] = make([]int64, n)
+		}
+		for i := range t.fuNext[c] {
+			t.fuNext[c][i] = 0
+		}
+	}
+}
+
+// tryCommit retires the head task if it has finished (one commit per cycle).
+func (s *sim) tryCommit() {
+	if s.head >= len(s.tasks) {
+		return
+	}
+	t := &s.tasks[s.head]
+	if s.head >= s.nextDispatch || t.next < len(t.rec.insts) || t.finishedAt > s.cycle {
+		return
+	}
+	s.commitTask(t)
+	s.head++
+	if s.nextDispatch < len(s.tasks) {
+		s.dispatch(s.nextDispatch, s.cycle)
+	}
+}
+
+func (s *sim) commitTask(t *execTask) {
+	t.committed = true
+	s.res.Tasks++
+	s.arb.CommitTask(uint64(t.rec.id))
+	for instIdx, info := range t.loadInfo {
+		pred, act := 0, 0
+		if info.predicted {
+			pred = 1
+		}
+		if info.actualDep {
+			act = 1
+		}
+		s.res.Breakdown[pred][act]++
+		if s.mds != nil && info.queried {
+			actualPC := uint64(0)
+			if info.actualDep {
+				actualPC = info.producerPC
+			}
+			s.mds.CommitLoad(t.rec.insts[instIdx].pc, actualPC, info.pairs)
+		}
+	}
+}
+
+// ringLatency is the forwarding delay between the units of two tasks over the
+// unidirectional ring.
+func (s *sim) ringLatency(prodTask, consTask int) int64 {
+	if prodTask == consTask {
+		return 0
+	}
+	prodUnit := prodTask % s.cfg.Stages
+	consUnit := consTask % s.cfg.Stages
+	hops := (consUnit - prodUnit + s.cfg.Stages) % s.cfg.Stages
+	return int64(hops) * int64(s.cfg.RingHop)
+}
+
+// operandReady computes the earliest cycle at which the instruction's
+// register operands are available.  ok is false when a producer has not
+// executed yet.
+func (s *sim) operandReady(t *execTask, r *dynRec) (int64, bool) {
+	ready := t.startAt
+	for i := 0; i < r.nSrc; i++ {
+		p := r.srcProd[i]
+		if p.taskIdx < 0 {
+			continue
+		}
+		var avail int64
+		if p.taskIdx == t.rec.id {
+			avail = t.done[p.idx]
+		} else {
+			avail = s.tasks[p.taskIdx].done[p.idx]
+			if avail >= 0 {
+				avail += s.ringLatency(p.taskIdx, t.rec.id)
+			}
+		}
+		if avail < 0 {
+			return 0, false
+		}
+		if avail > ready {
+			ready = avail
+		}
+	}
+	return ready, true
+}
+
+// allPriorStoresResolved reports whether every store of every earlier
+// in-flight task has executed.
+func (s *sim) allPriorStoresResolved(t *execTask) bool {
+	for i := s.head; i < t.rec.id; i++ {
+		if !s.tasks[i].committed && s.tasks[i].storesLeft > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// actualDependence reports whether the load depends on a store of an earlier
+// task that is still in flight, and the PC of that store.
+func (s *sim) actualDependence(t *execTask, r *dynRec) (bool, uint64) {
+	if !r.hasMemProd || r.memProd.taskIdx == t.rec.id {
+		return false, 0
+	}
+	if s.tasks[r.memProd.taskIdx].committed {
+		return false, 0
+	}
+	return true, r.memProdPC
+}
+
+// taskPCAt lets the ESYNC predictor look up the task PC at a given instance
+// (task) number.
+func (s *sim) taskPCAt(instance uint64) (uint64, bool) {
+	if instance >= uint64(len(s.tasks)) {
+		return 0, false
+	}
+	return s.tasks[instance].rec.pc, true
+}
+
+// loadMayIssue applies the speculation policy to a load whose operands are
+// ready.  It returns true when the load may access memory this cycle; when it
+// returns false the load (and, because issue is in order, the rest of its
+// task) stalls.
+func (s *sim) loadMayIssue(t *execTask, r *dynRec, instIdx int) bool {
+	info := t.loadInfo[instIdx]
+	if info == nil {
+		info = &loadRecord{}
+		info.actualDep, info.producerPC = s.actualDependence(t, r)
+		t.loadInfo[instIdx] = info
+	}
+
+	if t.wait == nil {
+		switch s.cfg.Policy {
+		case policy.Always:
+			return true
+
+		case policy.Never:
+			if s.allPriorStoresResolved(t) {
+				return true
+			}
+			t.wait = &waitState{kind: waitAllPrior, since: s.cycle}
+			s.res.LoadsWaited++
+			return false
+
+		case policy.Wait:
+			if !info.actualDep {
+				return true
+			}
+			if s.allPriorStoresResolved(t) {
+				return true
+			}
+			t.wait = &waitState{kind: waitAllPrior, since: s.cycle}
+			s.res.LoadsWaited++
+			return false
+
+		case policy.PerfectSync:
+			if !info.actualDep {
+				return true
+			}
+			// Ideal synchronization: the load proceeds as soon as the
+			// producing store has issued (the value is forwarded).
+			p := r.memProd
+			if s.tasks[p.taskIdx].done[p.idx] >= 0 {
+				return true
+			}
+			t.wait = &waitState{kind: waitProducer, since: s.cycle, producer: p}
+			s.res.LoadsWaited++
+			return false
+
+		case policy.Sync, policy.ESync:
+			if info.queried {
+				// The prediction was already made for this execution attempt
+				// (the load was then stalled by a structural hazard, or has
+				// been released from its wait); do not re-query the tables.
+				return true
+			}
+			ldid := idEncode(t.rec.id, instIdx)
+			d := s.mds.LoadIssue(memdep.LoadQuery{
+				PC:       r.pc,
+				Instance: uint64(t.rec.id),
+				LDID:     ldid,
+				Addr:     r.addr,
+				TaskPCAt: s.taskPCAt,
+			})
+			info.predicted = d.Predicted
+			info.queried = true
+			info.ldid = ldid
+			info.pairs = append([]memdep.PairKey(nil), d.WaitPairs...)
+			if !d.Wait {
+				return true
+			}
+			t.wait = &waitState{kind: waitSignal, since: s.cycle, ldid: ldid}
+			s.res.LoadsWaited++
+			return false
+
+		default:
+			return true
+		}
+	}
+
+	// The load is already waiting: evaluate its release condition.
+	w := t.wait
+	switch w.kind {
+	case waitAllPrior:
+		if s.allPriorStoresResolved(t) {
+			s.release(t)
+			return true
+		}
+	case waitProducer:
+		p := w.producer
+		if s.tasks[p.taskIdx].done[p.idx] >= 0 {
+			s.release(t)
+			return true
+		}
+	case waitSignal:
+		if w.signaled {
+			s.release(t)
+			return true
+		}
+		if s.allPriorStoresResolved(t) {
+			// Incomplete synchronization (section 4.4.2): the predicted store
+			// never signalled; free the entry and weaken the prediction.
+			s.mds.ReleaseLoad(w.ldid)
+			s.res.FalseDependenceReleases++
+			s.release(t)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *sim) release(t *execTask) {
+	s.res.WaitCycles += uint64(s.cycle - t.wait.since)
+	t.wait = nil
+}
+
+// wakeLoad marks a waiting load as signalled (called when a store's MDST
+// signal releases it).
+func (s *sim) wakeLoad(ldid int64) {
+	taskIdx, _ := idDecode(ldid)
+	if taskIdx < 0 || taskIdx >= len(s.tasks) {
+		return
+	}
+	t := &s.tasks[taskIdx]
+	if t.wait != nil && t.wait.kind == waitSignal && t.wait.ldid == ldid {
+		t.wait.signaled = true
+	}
+}
+
+// acquireFU reserves a functional unit of the class at the given cycle,
+// returning false when all instances are busy.
+func (s *sim) acquireFU(t *execTask, class isa.Class, op isa.Op, cycle int64) bool {
+	insts := t.fuNext[class]
+	for i := range insts {
+		if insts[i] <= cycle {
+			occupancy := int64(1)
+			if !s.cfg.Latencies[class].Pipelined {
+				occupancy = int64(s.cfg.Latencies.OpLatency(op))
+			}
+			insts[i] = cycle + occupancy
+			return true
+		}
+	}
+	return false
+}
+
+// advance issues up to IssueWidth instructions of the task this cycle.
+func (s *sim) advance(t *execTask) {
+	if s.cycle < t.startAt || t.next >= len(t.rec.insts) {
+		return
+	}
+	blockSize := uint64(s.hier.Config().ICacheBlock)
+	for issued := 0; issued < s.cfg.IssueWidth && t.next < len(t.rec.insts); issued++ {
+		idx := t.next
+		r := &t.rec.insts[idx]
+
+		// Instruction supply: one cache access per 64-byte block.
+		block := r.pc / blockSize
+		if block != t.lastFetchBlock {
+			t.fetchReady = s.hier.InstrFetch(t.unit, r.pc, s.cycle)
+			t.lastFetchBlock = block
+		}
+		if s.cycle < t.fetchReady {
+			return
+		}
+
+		ready, ok := s.operandReady(t, r)
+		if !ok || ready > s.cycle {
+			return
+		}
+
+		if r.isLoad && !s.loadMayIssue(t, r, idx) {
+			return
+		}
+
+		if !s.acquireFU(t, r.class, r.op, s.cycle) {
+			return
+		}
+
+		var done int64
+		switch {
+		case r.isLoad:
+			if !s.arbLoad(t, r) {
+				// ARB bank overflow: proceed untracked (counted).
+			}
+			done = s.hier.DataAccess(r.addr, s.cycle+1)
+		case r.isStore:
+			t.storesLeft--
+			s.handleStore(t, r, idx)
+			// The stored value is visible to consumers one cycle after issue;
+			// the cache/bus occupancy is charged separately.
+			complete := s.hier.DataAccess(r.addr, s.cycle+1)
+			if complete > t.finishedAt {
+				t.finishedAt = complete
+			}
+			done = s.cycle + 1
+		default:
+			done = s.cycle + int64(s.cfg.Latencies.OpLatency(r.op))
+		}
+
+		t.done[idx] = done
+		if done > t.finishedAt {
+			t.finishedAt = done
+		}
+		t.next++
+	}
+}
+
+// arbLoad records the load in the address resolution buffer.
+func (s *sim) arbLoad(t *execTask, r *dynRec) bool {
+	ok := s.arb.Load(r.addr, uint64(t.rec.id), r.pc)
+	if !ok {
+		s.arbBypasses++
+	}
+	return ok
+}
+
+// handleStore performs the store-side dependence work: ARB violation
+// detection (and the resulting squash) and MDST signalling.
+func (s *sim) handleStore(t *execTask, r *dynRec, instIdx int) {
+	v, ok := s.arb.Store(r.addr, uint64(t.rec.id))
+	if !ok {
+		s.arbBypasses++
+	}
+	if v != nil {
+		s.handleViolation(t, r, v)
+	}
+	if s.mds != nil {
+		sd := s.mds.StoreIssue(memdep.StoreQuery{
+			PC:       r.pc,
+			Instance: uint64(t.rec.id),
+			STID:     idEncode(t.rec.id, instIdx),
+			TaskPC:   t.rec.pc,
+			Addr:     r.addr,
+		})
+		for _, ldid := range sd.ReleasedLoads {
+			s.wakeLoad(ldid)
+		}
+	}
+}
+
+// handleViolation records a detected mis-speculation and squashes the
+// offending task and all younger in-flight tasks.
+func (s *sim) handleViolation(storeTask *execTask, storeRec *dynRec, v *arb.Violation) {
+	s.res.Misspeculations++
+	pair := memdep.PairKey{LoadPC: v.LoadPC, StorePC: storeRec.pc}
+	if s.res.MisspecPairs == nil {
+		s.res.MisspecPairs = make(map[memdep.PairKey]uint64)
+	}
+	s.res.MisspecPairs[pair]++
+	for _, ddc := range s.ddcs {
+		ddc.Access(pair)
+	}
+	if s.mds != nil {
+		dist := v.LoadTask - v.StoreTask
+		s.mds.RecordMisspeculation(pair, dist, storeTask.rec.pc)
+	}
+	// Squashed tasks are restarted in order: the sequencer re-walks and
+	// re-dispatches them one after another, so each successive task restarts
+	// a little later.  (Restarting them all in the same cycle would recreate
+	// the zero-stagger situation that caused the violation in the first
+	// place and lock the processor into a squash-restart resonance.)
+	delay := int64(s.cfg.SquashPenalty)
+	for idx := int(v.LoadTask); idx < s.nextDispatch; idx++ {
+		s.squashTask(&s.tasks[idx], delay)
+		delay += int64(s.cfg.SquashPenalty)
+	}
+}
+
+// squashTask discards the task's speculative work and schedules its restart
+// after the given delay.
+func (s *sim) squashTask(t *execTask, delay int64) {
+	if t.committed {
+		return
+	}
+	s.res.Squashes++
+	s.res.SquashedInstructions += uint64(t.next)
+	if s.mds != nil {
+		for _, info := range t.loadInfo {
+			if info.queried {
+				s.mds.SquashLoad(info.ldid)
+			}
+		}
+		for i := 0; i < t.next; i++ {
+			if t.rec.insts[i].isStore {
+				s.mds.SquashStore(idEncode(t.rec.id, i))
+			}
+		}
+	}
+	s.arb.SquashTask(uint64(t.rec.id))
+	s.resetExecState(t, s.cycle+delay)
+}
+
+func (s *sim) result() Result {
+	r := s.res
+	r.Benchmark = s.w.Name
+	r.Stages = s.cfg.Stages
+	r.Policy = s.cfg.Policy
+	r.Cycles = s.cycle
+	r.Instructions = s.w.Instructions
+	r.Loads = s.w.Loads
+	r.Stores = s.w.Stores
+	r.ARB = s.arb.Stats()
+	r.Cache = s.hier.Stats()
+	r.Sequencer = s.seq.Stats()
+	if s.mds != nil {
+		r.MemDep = s.mds.Stats()
+	}
+	if len(s.ddcs) > 0 {
+		r.DDCMissRate = make(map[int]float64, len(s.ddcs))
+		for _, ddc := range s.ddcs {
+			r.DDCMissRate[ddc.Capacity()] = ddc.MissRate() * 100
+		}
+	}
+	return r
+}

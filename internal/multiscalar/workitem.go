@@ -1,0 +1,161 @@
+// Package multiscalar implements a timing simulator for a Multiscalar
+// processor in the style of the evaluation platform of section 5 of the
+// paper: a number of processing units (stages) execute consecutive tasks of a
+// sequential program concurrently, inter-task register values are forwarded
+// over a unidirectional ring, memory accesses go through a banked data cache
+// and an address resolution buffer, and inter-task memory dependences are
+// speculated according to a configurable policy (internal/policy).
+//
+// The simulator is trace driven: the committed dynamic instruction stream of
+// the functional simulator (internal/trace) is first preprocessed into tasks
+// with resolved register and memory producers (Preprocess), and the timing
+// model then replays that stream under different processor configurations and
+// speculation policies (Simulate).  The committed result is by construction
+// identical across policies -- only the timing differs -- mirroring the
+// paper's methodology of comparing policies on the same binaries and inputs.
+package multiscalar
+
+import (
+	"fmt"
+
+	"memdep/internal/isa"
+	"memdep/internal/program"
+	"memdep/internal/trace"
+)
+
+// prodRef names the dynamic instruction that produces a value: the taskIdx-th
+// task's idx-th instruction.  A taskIdx of -1 means "no producer inside the
+// analysed stream" (the value is available at program start).
+type prodRef struct {
+	taskIdx int
+	idx     int
+}
+
+// noProducer is the prodRef for values with no in-stream producer.
+var noProducer = prodRef{taskIdx: -1, idx: -1}
+
+// dynRec is one dynamic instruction prepared for timing simulation.
+type dynRec struct {
+	op      isa.Op
+	class   isa.Class
+	pc      uint64
+	addr    uint64
+	isLoad  bool
+	isStore bool
+
+	// srcProd holds the producers of the instruction's register sources.
+	srcProd [2]prodRef
+	nSrc    int
+
+	// memProd is the most recent store (in program order) to the same
+	// address, when the instruction is a load and such a store exists.
+	memProd    prodRef
+	hasMemProd bool
+	// memProdPC is the PC of that store (for predictor updates).
+	memProdPC uint64
+}
+
+// taskRec is one dynamic Multiscalar task.
+type taskRec struct {
+	id     int
+	pc     uint64 // task start PC
+	insts  []dynRec
+	loads  int
+	stores int
+}
+
+// WorkItem is a preprocessed committed instruction stream, ready to be
+// simulated under any processor configuration.  It is immutable once built
+// and can be shared by concurrent simulations.
+type WorkItem struct {
+	// Name is the benchmark name.
+	Name string
+	// Instructions is the number of committed instructions.
+	Instructions uint64
+	// Loads and Stores count committed memory operations.
+	Loads  uint64
+	Stores uint64
+
+	tasks []taskRec
+}
+
+// Tasks returns the number of dynamic tasks.
+func (w *WorkItem) Tasks() int { return len(w.tasks) }
+
+// AvgTaskSize returns the average dynamic task size in instructions.
+func (w *WorkItem) AvgTaskSize() float64 {
+	if len(w.tasks) == 0 {
+		return 0
+	}
+	return float64(w.Instructions) / float64(len(w.tasks))
+}
+
+// Preprocess runs the program in the functional simulator and builds the
+// task-structured work item the timing simulator consumes.
+func Preprocess(p *program.Program, cfg trace.Config) (*WorkItem, error) {
+	w := &WorkItem{Name: p.Name}
+
+	var lastRegWriter [isa.NumRegs]prodRef
+	for i := range lastRegWriter {
+		lastRegWriter[i] = noProducer
+	}
+	lastStore := make(map[uint64]prodRef)
+	lastStorePC := make(map[uint64]uint64)
+
+	cur := -1 // index of the task being built
+	_, err := trace.Run(p, cfg, func(d trace.DynInst) bool {
+		if d.TaskStart || cur < 0 {
+			w.tasks = append(w.tasks, taskRec{id: len(w.tasks), pc: d.TaskPC})
+			cur = len(w.tasks) - 1
+		}
+		t := &w.tasks[cur]
+
+		ins := p.Code[d.Index]
+		r := dynRec{
+			op:      d.Op,
+			class:   isa.ClassOf(d.Op),
+			pc:      d.PC,
+			addr:    d.Addr,
+			isLoad:  d.IsLoad(),
+			isStore: d.IsStore(),
+		}
+		uses, n := ins.Uses()
+		for i := 0; i < n; i++ {
+			if uses[i] == isa.Zero {
+				r.srcProd[r.nSrc] = noProducer
+			} else {
+				r.srcProd[r.nSrc] = lastRegWriter[uses[i]]
+			}
+			r.nSrc++
+		}
+		if r.isLoad {
+			if prod, ok := lastStore[d.Addr]; ok {
+				r.memProd = prod
+				r.hasMemProd = true
+				r.memProdPC = lastStorePC[d.Addr]
+			}
+			t.loads++
+			w.Loads++
+		}
+		myRef := prodRef{taskIdx: cur, idx: len(t.insts)}
+		if r.isStore {
+			lastStore[d.Addr] = myRef
+			lastStorePC[d.Addr] = d.PC
+			t.stores++
+			w.Stores++
+		}
+		if dst, ok := ins.Writes(); ok && dst != isa.Zero {
+			lastRegWriter[dst] = myRef
+		}
+		t.insts = append(t.insts, r)
+		w.Instructions++
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("multiscalar: preprocessing %q failed: %w", p.Name, err)
+	}
+	if len(w.tasks) == 0 {
+		return nil, fmt.Errorf("multiscalar: program %q produced no instructions", p.Name)
+	}
+	return w, nil
+}

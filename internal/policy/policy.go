@@ -1,0 +1,131 @@
+// Package policy enumerates the data dependence speculation policies compared
+// in section 5.4 and 5.5 of the paper.
+package policy
+
+import (
+	"fmt"
+
+	"memdep/internal/memdep"
+)
+
+// Kind identifies a data dependence speculation policy.
+type Kind int
+
+const (
+	// Never performs no data dependence speculation: a load waits until all
+	// stores of all earlier in-flight tasks have executed.
+	Never Kind = iota
+	// Always speculates blindly: every load issues as soon as its operands
+	// are ready; violations are detected afterwards and squash the offending
+	// task (the policy of the modern processors cited by the paper).
+	Always
+	// Wait is selective speculation with perfect dependence prediction: loads
+	// that have a true dependence on an in-flight store are not speculated
+	// and wait for all earlier stores to resolve; independent loads issue
+	// freely.  No explicit synchronization is performed.
+	Wait
+	// PerfectSync is ideal speculation/synchronization: dependent loads wait
+	// exactly for the store that produces their value; independent loads
+	// issue freely; no mis-speculations occur.
+	PerfectSync
+	// Sync uses the MDPT/MDST mechanism with the baseline up/down counter
+	// predictor.
+	Sync
+	// ESync uses the MDPT/MDST mechanism with the enhanced predictor that
+	// also records the producing task's PC.
+	ESync
+
+	numKinds
+)
+
+// All returns every policy in presentation order.
+func All() []Kind {
+	return []Kind{Never, Always, Wait, PerfectSync, Sync, ESync}
+}
+
+// OraclePolicies returns the policies of Figure 5 (no hardware predictor).
+func OraclePolicies() []Kind { return []Kind{Never, Always, Wait, PerfectSync} }
+
+// MechanismPolicies returns the policies of Figure 6 (the proposed mechanism
+// and its ideal bound).
+func MechanismPolicies() []Kind { return []Kind{Sync, ESync, PerfectSync} }
+
+// String implements fmt.Stringer using the paper's names.
+func (k Kind) String() string {
+	switch k {
+	case Never:
+		return "NEVER"
+	case Always:
+		return "ALWAYS"
+	case Wait:
+		return "WAIT"
+	case PerfectSync:
+		return "PSYNC"
+	case Sync:
+		return "SYNC"
+	case ESync:
+		return "ESYNC"
+	default:
+		return fmt.Sprintf("policy(%d)", int(k))
+	}
+}
+
+// Valid reports whether k names a defined policy.
+func (k Kind) Valid() bool { return k >= 0 && k < numKinds }
+
+// Parse converts a policy name (as printed by String, case-sensitive) back to
+// its Kind.
+func Parse(name string) (Kind, error) {
+	for _, k := range All() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown policy %q", name)
+}
+
+// Speculates reports whether the policy ever lets a load bypass unresolved
+// earlier stores.
+func (k Kind) Speculates() bool { return k != Never }
+
+// UsesOracle reports whether the policy relies on perfect knowledge of the
+// program's true dependences (available only to the simulator, not to
+// realizable hardware).
+func (k Kind) UsesOracle() bool { return k == Wait || k == PerfectSync }
+
+// UsesPredictor reports whether the policy drives the MDPT/MDST hardware.
+func (k Kind) UsesPredictor() bool { return k == Sync || k == ESync }
+
+// PredictorKind returns the memdep predictor used by the policy; ok is false
+// for policies that do not use the prediction hardware.
+func (k Kind) PredictorKind() (memdep.PredictorKind, bool) {
+	switch k {
+	case Sync:
+		return memdep.PredictSync, true
+	case ESync:
+		return memdep.PredictESync, true
+	default:
+		return 0, false
+	}
+}
+
+// Description returns a one-line description suitable for documentation and
+// tool output.
+func (k Kind) Description() string {
+	switch k {
+	case Never:
+		return "no data dependence speculation: loads wait for all prior in-flight stores"
+	case Always:
+		return "blind speculation: loads never wait; violations squash the offending task"
+	case Wait:
+		return "selective speculation (perfect prediction): dependent loads wait for all prior stores"
+	case PerfectSync:
+		return "perfect prediction and synchronization: dependent loads wait only for their producer"
+	case Sync:
+		return "MDPT/MDST mechanism with up/down counter predictor"
+	case ESync:
+		return "MDPT/MDST mechanism with counter + producing-task PC predictor"
+	default:
+		return "unknown policy"
+	}
+}

@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"testing"
+
+	"memdep/internal/memdep"
+)
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	for _, k := range All() {
+		got, err := Parse(k.String())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", k.String(), err)
+			continue
+		}
+		if got != k {
+			t.Errorf("Parse(String(%v)) = %v", k, got)
+		}
+	}
+	if _, err := Parse("BOGUS"); err == nil {
+		t.Error("unknown policy must fail to parse")
+	}
+}
+
+func TestNamesMatchPaper(t *testing.T) {
+	want := map[Kind]string{
+		Never:       "NEVER",
+		Always:      "ALWAYS",
+		Wait:        "WAIT",
+		PerfectSync: "PSYNC",
+		Sync:        "SYNC",
+		ESync:       "ESYNC",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), name)
+		}
+	}
+}
+
+func TestAllContainsSixPolicies(t *testing.T) {
+	if len(All()) != 6 {
+		t.Errorf("All() = %d policies, want 6", len(All()))
+	}
+	for _, k := range All() {
+		if !k.Valid() {
+			t.Errorf("%v must be valid", k)
+		}
+		if k.Description() == "" || k.Description() == "unknown policy" {
+			t.Errorf("%v has no description", k)
+		}
+	}
+	if Kind(99).Valid() {
+		t.Error("out-of-range kind must be invalid")
+	}
+}
+
+func TestOracleAndMechanismSubsets(t *testing.T) {
+	if len(OraclePolicies()) != 4 {
+		t.Errorf("oracle policies = %v", OraclePolicies())
+	}
+	if len(MechanismPolicies()) != 3 {
+		t.Errorf("mechanism policies = %v", MechanismPolicies())
+	}
+	for _, k := range OraclePolicies() {
+		if k.UsesPredictor() {
+			t.Errorf("%v must not use the predictor", k)
+		}
+	}
+}
+
+func TestClassificationPredicates(t *testing.T) {
+	if Never.Speculates() {
+		t.Error("NEVER must not speculate")
+	}
+	if !Always.Speculates() || !Sync.Speculates() {
+		t.Error("ALWAYS and SYNC speculate")
+	}
+	if !Wait.UsesOracle() || !PerfectSync.UsesOracle() {
+		t.Error("WAIT and PSYNC are oracle policies")
+	}
+	if Always.UsesOracle() || Sync.UsesOracle() {
+		t.Error("ALWAYS and SYNC are not oracle policies")
+	}
+	if !Sync.UsesPredictor() || !ESync.UsesPredictor() {
+		t.Error("SYNC and ESYNC use the predictor")
+	}
+	if Always.UsesPredictor() || PerfectSync.UsesPredictor() {
+		t.Error("ALWAYS and PSYNC do not use the predictor")
+	}
+}
+
+func TestPredictorKindMapping(t *testing.T) {
+	if pk, ok := Sync.PredictorKind(); !ok || pk != memdep.PredictSync {
+		t.Errorf("Sync predictor = %v/%v", pk, ok)
+	}
+	if pk, ok := ESync.PredictorKind(); !ok || pk != memdep.PredictESync {
+		t.Errorf("ESync predictor = %v/%v", pk, ok)
+	}
+	if _, ok := Always.PredictorKind(); ok {
+		t.Error("Always must not map to a predictor")
+	}
+}

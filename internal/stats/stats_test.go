@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := NewTable("Table X", "bench", "value", "pct")
+	tab.AddRow("compress", "123", "4.56")
+	tab.AddRow("x", "7", "0.1")
+	out := tab.Render()
+	if !strings.Contains(out, "Table X") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, underline, header, separator, 2 rows
+	if len(lines) != 6 {
+		t.Fatalf("rendered %d lines, want 6:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "bench") {
+		t.Errorf("header line = %q", lines[2])
+	}
+	// Data rows must be equal length (alignment).
+	if len(lines[4]) != len(lines[5]) {
+		t.Errorf("rows not aligned:\n%q\n%q", lines[4], lines[5])
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.AddRow("only")
+	if got := tab.Cell(0, 2); got != "" {
+		t.Errorf("padded cell = %q", got)
+	}
+	if tab.NumRows() != 1 {
+		t.Errorf("rows = %d", tab.NumRows())
+	}
+	if tab.Cell(5, 5) != "" {
+		t.Error("out-of-range cell must be empty")
+	}
+}
+
+func TestTableNote(t *testing.T) {
+	tab := NewTable("T", "a")
+	tab.Note = "measured, not matched"
+	if !strings.Contains(tab.Render(), "measured, not matched") {
+		t.Error("note missing from rendering")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := NewTable("T", "bench", "note")
+	tab.AddRow("compress", `has,comma`)
+	tab.AddRow("sc", "plain")
+	csv := tab.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "bench,note" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"has,comma"`) {
+		t.Errorf("comma cell not quoted: %q", lines[1])
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[uint64]string{
+		0:          "0",
+		42:         "42",
+		9999:       "9999",
+		123456:     "123.46K",
+		12_345_678: "12.35M",
+	}
+	for in, want := range cases {
+		if got := FormatCount(in); got != want {
+			t.Errorf("FormatCount(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := FormatFloat(3.14159, 2); got != "3.14" {
+		t.Errorf("FormatFloat = %q", got)
+	}
+	if got := FormatPercent(12.345); got != "12.35" {
+		t.Errorf("FormatPercent = %q", got)
+	}
+	if got := FormatSpeedup(7.25); got != "+7.2%" && got != "+7.3%" {
+		t.Errorf("FormatSpeedup = %q", got)
+	}
+	if got := FormatSpeedup(-3.5); !strings.HasPrefix(got, "-3.5") {
+		t.Errorf("FormatSpeedup(-3.5) = %q", got)
+	}
+}
+
+// Property: rendering never panics and every data row appears in the output.
+func TestRenderContainsAllCells(t *testing.T) {
+	f := func(rows [][3]string) bool {
+		tab := NewTable("T", "a", "b", "c")
+		for _, r := range rows {
+			cells := []string{sanitize(r[0]), sanitize(r[1]), sanitize(r[2])}
+			tab.AddRow(cells...)
+		}
+		out := tab.Render()
+		for _, r := range tab.Rows {
+			for _, c := range r {
+				if c != "" && !strings.Contains(out, c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(s string) string {
+	s = strings.Map(func(r rune) rune {
+		if r == '\n' || r == '\r' {
+			return ' '
+		}
+		return r
+	}, s)
+	if len(s) > 12 {
+		s = s[:12]
+	}
+	return s
+}

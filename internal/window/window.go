@@ -1,0 +1,212 @@
+// Package window implements the "unrealistic" out-of-order execution model of
+// section 5 of the paper: a processor able to establish a perfect, continuous
+// instruction window of a given size, in which every load is mis-speculated
+// whenever a store it depends on appears fewer than n instructions earlier in
+// the sequential order.  The model is the worst case with respect to the
+// number of mis-speculations and is used to characterise the dynamic
+// behaviour of memory dependences (Tables 3, 4 and 5).
+package window
+
+import (
+	"fmt"
+	"sort"
+
+	"memdep/internal/memdep"
+	"memdep/internal/program"
+	"memdep/internal/trace"
+)
+
+// DefaultWindowSizes are the window sizes of Tables 3-5.
+func DefaultWindowSizes() []int { return []int{8, 16, 32, 64, 128, 256, 512} }
+
+// DefaultDDCSizes are the data dependence cache sizes of Table 5.
+func DefaultDDCSizes() []int { return []int{32, 128, 512} }
+
+// Coverage is the fraction of dynamic mis-speculations that Table 4 requires
+// the counted static dependences to cover (99.9%).
+const Coverage = 0.999
+
+// Result holds the dependence statistics observed for one window size.
+type Result struct {
+	// WindowSize is the instruction window size n.
+	WindowSize int
+	// Loads is the number of committed loads in the analysed stream.
+	Loads uint64
+	// Misspeculations is the number of loads whose producing store lies
+	// within the window (every such load is counted as mis-speculated under
+	// the worst-case model).
+	Misspeculations uint64
+	// StaticPairs is the number of distinct static store→load pairs that
+	// produced at least one mis-speculation.
+	StaticPairs int
+	// PairsForCoverage is the number of static pairs, taken in decreasing
+	// order of frequency, needed to cover Coverage (99.9%) of all
+	// mis-speculations (Table 4).
+	PairsForCoverage int
+	// DDCMissRate maps DDC size to the percentage of mis-speculations whose
+	// pair was not found in a DDC of that size (Table 5), in [0,100].
+	DDCMissRate map[int]float64
+	// PairCounts holds the per-pair mis-speculation counts (for further
+	// analysis and tests).
+	PairCounts map[memdep.PairKey]uint64
+}
+
+// MisspecRate returns mis-speculations per committed load.
+func (r Result) MisspecRate() float64 {
+	if r.Loads == 0 {
+		return 0
+	}
+	return float64(r.Misspeculations) / float64(r.Loads)
+}
+
+// Config controls an analysis run.
+type Config struct {
+	// WindowSizes lists the window sizes to evaluate (default
+	// DefaultWindowSizes).
+	WindowSizes []int
+	// DDCSizes lists the data dependence cache sizes to evaluate per window
+	// (default DefaultDDCSizes).
+	DDCSizes []int
+	// Trace configures the underlying functional run.
+	Trace trace.Config
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.WindowSizes) == 0 {
+		c.WindowSizes = DefaultWindowSizes()
+	}
+	if len(c.DDCSizes) == 0 {
+		c.DDCSizes = DefaultDDCSizes()
+	}
+	return c
+}
+
+// perWindow is the per-window-size accumulation state.
+type perWindow struct {
+	size     int
+	misspecs uint64
+	pairs    map[memdep.PairKey]uint64
+	ddcs     []*memdep.DDC
+}
+
+// Analyzer accumulates dependence statistics over a committed instruction
+// stream.  Feed it with Observe (typically from trace.Run) and harvest with
+// Results.
+type Analyzer struct {
+	cfg     Config
+	windows []*perWindow
+	loads   uint64
+
+	// lastStore maps a data address to the most recent store that wrote it.
+	lastStore map[uint64]storeRecord
+}
+
+type storeRecord struct {
+	seq uint64
+	pc  uint64
+}
+
+// NewAnalyzer creates an analyzer for the given configuration.
+func NewAnalyzer(cfg Config) *Analyzer {
+	cfg = cfg.withDefaults()
+	a := &Analyzer{
+		cfg:       cfg,
+		lastStore: make(map[uint64]storeRecord),
+	}
+	sizes := append([]int(nil), cfg.WindowSizes...)
+	sort.Ints(sizes)
+	for _, ws := range sizes {
+		pw := &perWindow{
+			size:  ws,
+			pairs: make(map[memdep.PairKey]uint64),
+		}
+		for _, ds := range cfg.DDCSizes {
+			pw.ddcs = append(pw.ddcs, memdep.NewDDC(ds))
+		}
+		a.windows = append(a.windows, pw)
+	}
+	return a
+}
+
+// Observe processes one committed dynamic instruction.
+func (a *Analyzer) Observe(d trace.DynInst) {
+	switch {
+	case d.IsStore():
+		a.lastStore[d.Addr] = storeRecord{seq: d.Seq, pc: d.PC}
+	case d.IsLoad():
+		a.loads++
+		st, ok := a.lastStore[d.Addr]
+		if !ok {
+			return
+		}
+		dist := d.Seq - st.seq
+		pair := memdep.PairKey{LoadPC: d.PC, StorePC: st.pc}
+		for _, pw := range a.windows {
+			if dist < uint64(pw.size) {
+				pw.misspecs++
+				pw.pairs[pair]++
+				for _, ddc := range pw.ddcs {
+					ddc.Access(pair)
+				}
+			}
+		}
+	}
+}
+
+// Results returns the accumulated statistics, one Result per window size in
+// increasing order.
+func (a *Analyzer) Results() []Result {
+	out := make([]Result, 0, len(a.windows))
+	for _, pw := range a.windows {
+		r := Result{
+			WindowSize:       pw.size,
+			Loads:            a.loads,
+			Misspeculations:  pw.misspecs,
+			StaticPairs:      len(pw.pairs),
+			PairsForCoverage: pairsForCoverage(pw.pairs, pw.misspecs, Coverage),
+			DDCMissRate:      make(map[int]float64, len(pw.ddcs)),
+			PairCounts:       pw.pairs,
+		}
+		for _, ddc := range pw.ddcs {
+			r.DDCMissRate[ddc.Capacity()] = ddc.MissRate() * 100
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// pairsForCoverage returns how many static pairs, in decreasing frequency
+// order, are needed to account for the given fraction of all mis-speculations.
+func pairsForCoverage(pairs map[memdep.PairKey]uint64, total uint64, coverage float64) int {
+	if total == 0 {
+		return 0
+	}
+	counts := make([]uint64, 0, len(pairs))
+	for _, c := range pairs {
+		counts = append(counts, c)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	need := uint64(float64(total) * coverage)
+	var acc uint64
+	for i, c := range counts {
+		acc += c
+		if acc >= need {
+			return i + 1
+		}
+	}
+	return len(counts)
+}
+
+// Analyze runs the program under the functional simulator and returns the
+// dependence statistics for every configured window size.
+func Analyze(p *program.Program, cfg Config) ([]Result, error) {
+	a := NewAnalyzer(cfg)
+	_, err := trace.Run(p, cfg.Trace, func(d trace.DynInst) bool {
+		a.Observe(d)
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("window: analysis of %q failed: %w", p.Name, err)
+	}
+	return a.Results(), nil
+}

@@ -1,0 +1,266 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memdep/internal/isa"
+	"memdep/internal/memdep"
+	"memdep/internal/program"
+	"memdep/internal/trace"
+	"memdep/internal/workload"
+)
+
+// synthInst builds a minimal DynInst for driving the analyzer directly.
+func synthInst(seq uint64, op isa.Op, pc, addr uint64) trace.DynInst {
+	return trace.DynInst{Seq: seq, Op: op, PC: pc, Addr: addr}
+}
+
+func TestAnalyzerCountsDependenceWithinWindow(t *testing.T) {
+	a := NewAnalyzer(Config{WindowSizes: []int{4, 16}, DDCSizes: []int{32}})
+	// store @pc=0x10 to addr A at seq 0; load @pc=0x20 from A at seq 5.
+	a.Observe(synthInst(0, isa.SW, 0x10, 0xA0))
+	for s := uint64(1); s < 5; s++ {
+		a.Observe(synthInst(s, isa.ADD, 0x14, 0))
+	}
+	a.Observe(synthInst(5, isa.LW, 0x20, 0xA0))
+
+	res := a.Results()
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	// Distance is 5: outside a window of 4, inside a window of 16.
+	if res[0].WindowSize != 4 || res[0].Misspeculations != 0 {
+		t.Errorf("window 4: %+v", res[0])
+	}
+	if res[1].WindowSize != 16 || res[1].Misspeculations != 1 {
+		t.Errorf("window 16: %+v", res[1])
+	}
+	if res[1].StaticPairs != 1 || res[1].PairsForCoverage != 1 {
+		t.Errorf("window 16 pair stats: %+v", res[1])
+	}
+	if res[1].Loads != 1 {
+		t.Errorf("loads = %d, want 1", res[1].Loads)
+	}
+}
+
+func TestAnalyzerUsesMostRecentStore(t *testing.T) {
+	a := NewAnalyzer(Config{WindowSizes: []int{64}, DDCSizes: []int{32}})
+	a.Observe(synthInst(0, isa.SW, 0x10, 0xA0)) // old store
+	a.Observe(synthInst(1, isa.SW, 0x18, 0xA0)) // most recent store to A
+	a.Observe(synthInst(2, isa.LW, 0x20, 0xA0))
+	res := a.Results()[0]
+	if res.Misspeculations != 1 {
+		t.Fatalf("misspeculations = %d, want 1", res.Misspeculations)
+	}
+	pair := memdep.PairKey{LoadPC: 0x20, StorePC: 0x18}
+	if res.PairCounts[pair] != 1 {
+		t.Errorf("dependence must be attributed to the most recent store: %v", res.PairCounts)
+	}
+}
+
+func TestAnalyzerLoadWithNoPriorStore(t *testing.T) {
+	a := NewAnalyzer(Config{WindowSizes: []int{64}})
+	a.Observe(synthInst(0, isa.LW, 0x20, 0xA0))
+	res := a.Results()[0]
+	if res.Misspeculations != 0 || res.Loads != 1 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestAnalyzerDifferentAddressesIndependent(t *testing.T) {
+	a := NewAnalyzer(Config{WindowSizes: []int{64}})
+	a.Observe(synthInst(0, isa.SW, 0x10, 0xA0))
+	a.Observe(synthInst(1, isa.LW, 0x20, 0xB0)) // different address
+	res := a.Results()[0]
+	if res.Misspeculations != 0 {
+		t.Errorf("load from unrelated address must not be a dependence: %+v", res)
+	}
+}
+
+func TestMisspecRate(t *testing.T) {
+	r := Result{Loads: 200, Misspeculations: 50}
+	if got := r.MisspecRate(); got != 0.25 {
+		t.Errorf("rate = %v, want 0.25", got)
+	}
+	if (Result{}).MisspecRate() != 0 {
+		t.Error("zero loads must give rate 0")
+	}
+}
+
+func TestPairsForCoverage(t *testing.T) {
+	pairs := map[memdep.PairKey]uint64{
+		{LoadPC: 1}: 900,
+		{LoadPC: 2}: 90,
+		{LoadPC: 3}: 9,
+		{LoadPC: 4}: 1,
+	}
+	// 99.9% of 1000 = 999: needs the top three pairs (900+90+9 = 999).
+	if got := pairsForCoverage(pairs, 1000, 0.999); got != 3 {
+		t.Errorf("pairsForCoverage = %d, want 3", got)
+	}
+	// 50% needs only the top pair.
+	if got := pairsForCoverage(pairs, 1000, 0.5); got != 1 {
+		t.Errorf("pairsForCoverage(0.5) = %d, want 1", got)
+	}
+	if got := pairsForCoverage(nil, 0, 0.999); got != 0 {
+		t.Errorf("empty = %d, want 0", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	a := NewAnalyzer(Config{})
+	res := a.Results()
+	if len(res) != len(DefaultWindowSizes()) {
+		t.Fatalf("results = %d, want %d", len(res), len(DefaultWindowSizes()))
+	}
+	for i, r := range res {
+		if r.WindowSize != DefaultWindowSizes()[i] {
+			t.Errorf("window %d = %d", i, r.WindowSize)
+		}
+		if len(r.DDCMissRate) != len(DefaultDDCSizes()) {
+			t.Errorf("DDC sizes = %d", len(r.DDCMissRate))
+		}
+	}
+}
+
+// Property: mis-speculation counts are monotonically non-decreasing in the
+// window size (a dependence visible in a small window is visible in every
+// larger window).
+func TestMisspecsMonotoneInWindowSize(t *testing.T) {
+	f := func(ops []struct {
+		Store bool
+		PC    uint8
+		Addr  uint8
+	}) bool {
+		a := NewAnalyzer(Config{WindowSizes: []int{4, 16, 64, 256}, DDCSizes: []int{16}})
+		for i, op := range ops {
+			opcode := isa.LW
+			if op.Store {
+				opcode = isa.SW
+			}
+			a.Observe(synthInst(uint64(i), opcode, uint64(op.PC)*4, uint64(op.Addr)*8))
+		}
+		res := a.Results()
+		for i := 1; i < len(res); i++ {
+			if res[i].Misspeculations < res[i-1].Misspeculations {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the analyzer agrees with a brute-force reference that scans the
+// previous n-1 instructions for each load.
+func TestAnalyzerMatchesBruteForce(t *testing.T) {
+	f := func(ops []struct {
+		Store bool
+		PC    uint8
+		Addr  uint8
+	}) bool {
+		const ws = 8
+		a := NewAnalyzer(Config{WindowSizes: []int{ws}, DDCSizes: []int{16}})
+		type rec struct {
+			isStore bool
+			pc      uint64
+			addr    uint64
+		}
+		var stream []rec
+		for i, op := range ops {
+			opcode := isa.LW
+			if op.Store {
+				opcode = isa.SW
+			}
+			pc := uint64(op.PC) * 4
+			addr := uint64(op.Addr%16) * 8
+			a.Observe(synthInst(uint64(i), opcode, pc, addr))
+			stream = append(stream, rec{isStore: op.Store, pc: pc, addr: addr})
+		}
+		// Brute force: for each load, find the most recent prior store to the
+		// same address; count a mis-speculation if it is within ws.
+		var want uint64
+		for i, r := range stream {
+			if r.isStore {
+				continue
+			}
+			for j := i - 1; j >= 0; j-- {
+				if stream[j].isStore && stream[j].addr == r.addr {
+					if uint64(i-j) < ws {
+						want++
+					}
+					break
+				}
+			}
+		}
+		return a.Results()[0].Misspeculations == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAnalyzeWorkloadShapes checks the paper's qualitative claims on a real
+// workload: mis-speculations grow sharply with window size, few static pairs
+// dominate, and moderate DDCs capture most of them.
+func TestAnalyzeWorkloadShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping workload analysis in -short mode")
+	}
+	w := workload.MustGet("compress")
+	results, err := Analyze(w.Build(1), Config{
+		WindowSizes: []int{8, 32, 512},
+		DDCSizes:    []int{32, 512},
+		Trace:       trace.Config{MaxInstructions: 150_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	w8, w32, w512 := results[0], results[1], results[2]
+	if w32.Misspeculations <= w8.Misspeculations {
+		t.Errorf("mis-speculations must grow with window size: ws8=%d ws32=%d",
+			w8.Misspeculations, w32.Misspeculations)
+	}
+	if w512.Misspeculations < w32.Misspeculations {
+		t.Errorf("mis-speculations must not shrink: ws32=%d ws512=%d",
+			w32.Misspeculations, w512.Misspeculations)
+	}
+	if w512.Misspeculations == 0 {
+		t.Fatal("expected mis-speculations for compress")
+	}
+	// Few static pairs cover 99.9% of mis-speculations.
+	if w512.PairsForCoverage > 200 {
+		t.Errorf("99.9%% coverage needs %d pairs, expected a small number", w512.PairsForCoverage)
+	}
+	// A 512-entry DDC captures (nearly) all of them.
+	if w512.DDCMissRate[512] > 10 {
+		t.Errorf("DDC-512 miss rate %.2f%%, expected < 10%%", w512.DDCMissRate[512])
+	}
+	// Larger DDCs never do worse.
+	if w512.DDCMissRate[512] > w512.DDCMissRate[32] {
+		t.Errorf("DDC miss rate must not increase with capacity: 32=%v 512=%v",
+			w512.DDCMissRate[32], w512.DDCMissRate[512])
+	}
+}
+
+// TestAnalyzeProgramError checks error propagation from the functional run.
+func TestAnalyzeProgramError(t *testing.T) {
+	// A program whose only instruction jumps to itself never halts; bound it.
+	b := program.NewBuilder("spin")
+	b.Label("top")
+	b.Jump("top")
+	p := b.MustBuild()
+	res, err := Analyze(p, Config{Trace: trace.Config{MaxInstructions: 1000}})
+	if err != nil {
+		t.Fatalf("bounded analysis must succeed: %v", err)
+	}
+	if res[0].Loads != 0 {
+		t.Error("spin program has no loads")
+	}
+}

@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"memdep/internal/isa"
+	"memdep/internal/program"
+)
+
+// This file defines the SPECfp95 stand-ins for Figure 7.  The paper reports
+// that most FP dependences it captures are loop recurrences; that two codes
+// (103.su2cor, 145.fpppp) have dependence working sets larger than the
+// prediction structures because their tasks are very large; and that several
+// codes (102.swim, 104.hydro2d, 107.mgrid, 125.turb3d) gain little because
+// another resource saturates.  The stand-ins reproduce those three regimes.
+
+func init() {
+	register(Workload{
+		Name:  "101.tomcatv",
+		Suite: SPECfp95,
+		Description: "Mesh generation stand-in: in-place relaxation sweeps whose " +
+			"left-neighbour load depends on the previous iteration's store (a loop " +
+			"recurrence one task away), plus scalar reductions through memory.",
+		DefaultScale: 2,
+		Build: func(scale int) *program.Program {
+			return buildStencil(stencilParams{
+				name: "101.tomcatv", words: 192, sweeps: 12, carried: true, extraWork: 2,
+			}, scale)
+		},
+	})
+	register(Workload{
+		Name:  "102.swim",
+		Suite: SPECfp95,
+		Description: "Shallow-water stand-in: sweeps that read one array and write " +
+			"another, so the only cross-task dependences are the scalar reduction " +
+			"globals; little is gained from dependence synchronization.",
+		DefaultScale: 2,
+		Build: func(scale int) *program.Program {
+			return buildStencil(stencilParams{
+				name: "102.swim", words: 256, sweeps: 10, carried: false, extraWork: 1,
+			}, scale)
+		},
+	})
+	register(Workload{
+		Name:  "103.su2cor",
+		Suite: SPECfp95,
+		Description: "Quantum physics stand-in: very large loop bodies (one task per " +
+			"iteration of a big loop) that update a large set of distinct memory " +
+			"temporaries each iteration, so the dependence working set exceeds the " +
+			"capacity of a 64-entry prediction table.",
+		DefaultScale: 1,
+		Build: func(scale int) *program.Program {
+			return buildWideRecurrence("103.su2cor", 96, 60, scale)
+		},
+	})
+	register(Workload{
+		Name:  "104.hydro2d",
+		Suite: SPECfp95,
+		Description: "Hydrodynamics stand-in: separate input/output arrays per sweep " +
+			"with modest scalar reductions; dependence synchronization has little to " +
+			"offer because the memory system dominates.",
+		DefaultScale: 2,
+		Build: func(scale int) *program.Program {
+			return buildStencil(stencilParams{
+				name: "104.hydro2d", words: 224, sweeps: 10, carried: false, extraWork: 2,
+			}, scale)
+		},
+	})
+	register(Workload{
+		Name:  "107.mgrid",
+		Suite: SPECfp95,
+		Description: "Multigrid stand-in: triple-nested accumulation kept in registers " +
+			"and written once per row; almost no cross-task memory recurrences.",
+		DefaultScale: 2,
+		Build:        buildMgrid,
+	})
+	register(Workload{
+		Name:  "110.applu",
+		Suite: SPECfp95,
+		Description: "SSOR solver stand-in: in-place wavefront relaxation with a strong " +
+			"loop-carried recurrence; the mechanism performs close to ideal.",
+		DefaultScale: 2,
+		Build: func(scale int) *program.Program {
+			return buildStencil(stencilParams{
+				name: "110.applu", words: 160, sweeps: 12, carried: true, extraWork: 3,
+			}, scale)
+		},
+	})
+	register(Workload{
+		Name:  "125.turb3d",
+		Suite: SPECfp95,
+		Description: "Turbulence stand-in: butterfly-style strided passes writing " +
+			"disjoint locations; few memory recurrences, little to gain.",
+		DefaultScale: 2,
+		Build: func(scale int) *program.Program {
+			return buildStencil(stencilParams{
+				name: "125.turb3d", words: 256, sweeps: 8, carried: false, extraWork: 3,
+			}, scale)
+		},
+	})
+	register(Workload{
+		Name:  "141.apsi",
+		Suite: SPECfp95,
+		Description: "Pollution modelling stand-in: in-place relaxation with moderate " +
+			"extra work per element and scalar reductions; moderate gains.",
+		DefaultScale: 2,
+		Build: func(scale int) *program.Program {
+			return buildStencil(stencilParams{
+				name: "141.apsi", words: 128, sweeps: 10, carried: true, extraWork: 1,
+			}, scale)
+		},
+	})
+	register(Workload{
+		Name:  "145.fpppp",
+		Suite: SPECfp95,
+		Description: "Gaussian chemistry stand-in: an enormous straight-line loop body " +
+			"(the paper measures ~1000 instructions per iteration, one task per " +
+			"iteration) carrying many distinct memory temporaries across iterations; " +
+			"the dependence working set overflows the prediction structures.",
+		DefaultScale: 1,
+		Build: func(scale int) *program.Program {
+			return buildWideRecurrence("145.fpppp", 144, 40, scale)
+		},
+	})
+	register(Workload{
+		Name:  "146.wave5",
+		Suite: SPECfp95,
+		Description: "Particle-in-cell stand-in: gather field values at particle " +
+			"positions, update particles, scatter charge back to the field through " +
+			"indirect addressing; moderate, address-dependent recurrences.",
+		DefaultScale: 2,
+		Build:        buildWave5,
+	})
+}
+
+// buildWideRecurrence constructs a workload whose single loop carries `temps`
+// distinct memory-resident temporaries from one iteration to the next.  With
+// one task per iteration and `temps` larger than the MDPT, the predictor
+// cannot hold the dependence working set -- the regime of 103.su2cor and
+// 145.fpppp in the paper.
+func buildWideRecurrence(name string, temps, iters, scale int) *program.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	b := program.NewBuilder(name)
+	g := newGlobals(b, "sum", "rounds")
+	tempsBase := b.AllocWords("temps", temps)
+
+	g.loadBase(b)
+	b.LoadAddr(regBaseA, "temps")
+
+	// The temporaries start out holding their own index (build-time init).
+	for i := 0; i < temps; i++ {
+		b.InitWord(tempsBase+uint64(i)*isa.WordSize, int64(i))
+	}
+
+	total := int64(iters * scale)
+	b.LoadImm(regLimit0, total)
+	b.Loop(regCount0, regLimit0, true, func() {
+		// One huge task body: every temporary is loaded, transformed and
+		// stored back, so each of the `temps` static load/store pairs is a
+		// distinct cross-iteration dependence.
+		b.AddI(10, isa.Zero, 0)
+		for i := 0; i < temps; i++ {
+			off := int64(i * isa.WordSize)
+			b.Load(3, regBaseA, off)
+			b.FMul(4, 3, 3)
+			b.FAdd(4, 4, 3)
+			b.AndI(4, 4, 0xfffff)
+			b.AddI(4, 4, 1)
+			b.Store(4, regBaseA, off)
+			b.Add(10, 10, 4)
+		}
+		g.add(b, "sum", 10, 5)
+		g.inc(b, "rounds", 1, 6)
+	})
+
+	b.Load(isa.RV, regGlobals, g.off("sum"))
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildMgrid constructs the 107.mgrid stand-in.
+func buildMgrid(scale int) *program.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	const (
+		rows = 24
+		cols = 16
+	)
+	b := program.NewBuilder("107.mgrid")
+	g := newGlobals(b, "norm", "cycles")
+	fine := b.AllocWords("fine", rows*cols)
+	b.AllocWords("coarse", rows*cols)
+
+	g.loadBase(b)
+	b.LoadAddr(regBaseA, "fine")
+	b.LoadAddr(regBaseB, "coarse")
+
+	// The fine grid is initialised at build time.
+	for i := 0; i < rows*cols; i++ {
+		b.InitWord(fine+uint64(i)*isa.WordSize, int64(i&255))
+	}
+
+	cyclesN := int64(8 * scale)
+	b.LoadImm(regLimit0, cyclesN)
+	b.Loop(regCount0, regLimit0, true, func() {
+		b.LoadImm(regLimit1, rows)
+		b.Loop(regCount1, regLimit1, true, func() {
+			// Accumulate a whole row in a register, then store the row sum
+			// once; the only memory write per task is to a distinct location,
+			// so there is no dependence for the predictor to find.
+			b.LoadImm(2, cols*isa.WordSize)
+			b.Mul(3, regCount1, 2)
+			b.Add(10, 3, regBaseA)
+			b.Add(11, 3, regBaseB)
+			b.AddI(12, isa.Zero, 0)
+			b.LoadImm(regLimit2, cols)
+			b.Loop(regCount2, regLimit2, false, func() {
+				b.SllI(4, regCount2, 3)
+				b.Add(4, 4, 10)
+				b.Load(5, 4, 0)
+				b.FMul(5, 5, 5)
+				b.AndI(5, 5, 0xffff)
+				b.Add(12, 12, 5)
+			})
+			b.Store(12, 11, 0)
+		})
+		g.inc(b, "cycles", 1, 6)
+	})
+
+	b.Load(isa.RV, regGlobals, g.off("cycles"))
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildWave5 constructs the 146.wave5 stand-in.
+func buildWave5(scale int) *program.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	const (
+		particles = 128
+		cellsN    = 64
+		cellMask  = cellsN - 1
+	)
+	b := program.NewBuilder("146.wave5")
+	g := newGlobals(b, "energy", "steps", "rng")
+	px := b.AllocWords("px", particles) // particle positions
+	pv := b.AllocWords("pv", particles) // particle velocities
+	b.AllocWords("field", cellsN)       // field/charge per cell
+
+	g.loadBase(b)
+	b.LoadAddr(regBaseA, "px")
+	b.LoadAddr(regBaseB, "pv")
+	b.LoadAddr(19, "field")
+
+	// Particle positions and velocities are initialised at build time.
+	seed := int64(17)
+	for i := 0; i < particles; i++ {
+		seed = buildRand(seed)
+		b.InitWord(px+uint64(i)*isa.WordSize, seed&cellMask)
+		b.InitWord(pv+uint64(i)*isa.WordSize, seed&7)
+	}
+
+	steps := int64(12 * scale)
+	b.LoadImm(regLimit0, steps)
+	b.Loop(regCount0, regLimit0, true, func() {
+		b.LoadImm(regLimit1, particles)
+		b.Loop(regCount1, regLimit1, true, func() {
+			b.SllI(10, regCount1, 3)
+			b.Add(11, 10, regBaseA) // &px[i]
+			b.Add(12, 10, regBaseB) // &pv[i]
+			b.Load(13, 11, 0)       // position (cell index)
+			b.Load(14, 12, 0)       // velocity
+
+			// Gather the field at the particle's cell.
+			b.AndI(15, 13, cellMask)
+			b.SllI(15, 15, 3)
+			b.Add(15, 15, 19)
+			b.Load(16, 15, 0)
+
+			// Push the particle and wrap its position.
+			b.Add(14, 14, 16)
+			b.AndI(14, 14, 15)
+			b.Store(14, 12, 0)
+			b.Add(13, 13, 14)
+			b.AndI(13, 13, cellMask)
+			b.Store(13, 11, 0)
+
+			// Scatter charge back to the (new) cell: an indirect store whose
+			// address changes with the data -- the producer of later gathers.
+			b.SllI(17, 13, 3)
+			b.Add(17, 17, 19)
+			b.Load(18, 17, 0)
+			b.AddI(18, 18, 1)
+			b.Store(18, 17, 0)
+
+			g.add(b, "energy", 16, 2)
+		})
+		g.inc(b, "steps", 1, 3)
+	})
+
+	b.Load(isa.RV, regGlobals, g.off("energy"))
+	b.Halt()
+	return b.MustBuild()
+}

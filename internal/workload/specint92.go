@@ -1,0 +1,556 @@
+package workload
+
+import (
+	"memdep/internal/isa"
+	"memdep/internal/program"
+)
+
+// This file defines the five SPECint92 stand-ins used for the bulk of the
+// paper's experiments (Tables 3-9, Figures 5-6).  Each constructor documents
+// which dependence behaviour of the original benchmark it reproduces.
+
+func init() {
+	register(Workload{
+		Name:  "compress",
+		Suite: SPECint92,
+		Description: "LZW-style compressor stand-in: a hash table of codes keyed by " +
+			"(prefix, char) pairs plus a handful of scalar globals (prefix code, " +
+			"checksum, counters, free entry index).  The scalar globals are hot " +
+			"loop-carried store→load recurrences; the hash and code tables add " +
+			"dependences that occur only along the hit or miss control path, the " +
+			"pattern that defeats a plain counter predictor in the paper.",
+		DefaultScale: 3,
+		Build:        buildCompress,
+	})
+	register(Workload{
+		Name:  "espresso",
+		Suite: SPECint92,
+		Description: "Two-level logic minimiser stand-in: cube (bit-vector) set operations " +
+			"over a cover, with reductions into globals that are reached both directly " +
+			"and through a pointer cell.  Tasks are large (~100 instructions) and the " +
+			"dominant dependences are simple loop recurrences, which even a counter " +
+			"predictor captures -- matching the paper's large speedups for espresso.",
+		DefaultScale: 3,
+		Build:        buildEspresso,
+	})
+	register(Workload{
+		Name:  "gcc",
+		Suite: SPECint92,
+		Description: "Compiler stand-in: a pool of IR nodes processed by several small " +
+			"passes selected by node kind (constant folding, symbol substitution, tree " +
+			"walking).  Many distinct static store→load pairs with weaker temporal " +
+			"locality and small, irregular tasks -- the behaviour that keeps gcc short " +
+			"of the ideal mechanism in the paper.",
+		DefaultScale: 3,
+		Build:        buildGCC92,
+	})
+	register(Workload{
+		Name:  "sc",
+		Suite: SPECint92,
+		Description: "Spreadsheet stand-in: row-major recalculation of a cell grid where " +
+			"each cell reads its left and upper neighbours.  The left-neighbour " +
+			"dependence is one task away, the upper-neighbour dependence a full row " +
+			"away, and several scalar globals are updated per cell; dependences are " +
+			"spread across many unrelated stores, which is why selective (WAIT) " +
+			"speculation loses to blind speculation on sc in the paper.",
+		DefaultScale: 2,
+		Build:        buildSC,
+	})
+	register(Workload{
+		Name:  "xlisp",
+		Suite: SPECint92,
+		Description: "Lisp interpreter stand-in (the paper runs 7-queens): cons-cell " +
+			"allocation from a free list, an explicit evaluation stack in memory, list " +
+			"traversal and periodic mark phases.  The free-list head, stack top index " +
+			"and allocation counters are hot recurrences; marking adds pointer-chased " +
+			"dependences with good temporal locality.",
+		DefaultScale: 3,
+		Build:        buildXlisp,
+	})
+}
+
+// buildCompress constructs the compress stand-in.
+func buildCompress(scale int) *program.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	const (
+		tableWords = 512
+		tableMask  = tableWords - 1
+	)
+	b := program.NewBuilder("compress")
+	g := newGlobals(b, "rng", "prev", "checksum", "in_count", "out_count",
+		"free_ent", "hits", "misses")
+	b.AllocWords("htab", tableWords)
+	b.AllocWords("codetab", tableWords)
+
+	g.loadBase(b)
+	b.LoadAddr(regBaseA, "htab")
+	b.LoadAddr(regBaseB, "codetab")
+	g.initVal(b, "rng", 1)
+	g.initVal(b, "free_ent", 257)
+
+	iters := int64(2000 * scale)
+	b.LoadImm(regLimit0, iters)
+	b.Loop(regCount0, regLimit0, true, func() {
+		// Next "input character" from the memory-resident RNG.
+		emitRandMem(b, g, "rng", 10, 2)
+		b.AndI(11, 10, 0xff) // c
+
+		// key = (prev << 4) ^ c ; prev = c.  The load and store of prev are a
+		// hot cross-iteration (cross-task) dependence.
+		g.load(b, 12, "prev")
+		b.SllI(13, 12, 4)
+		b.Xor(13, 13, 11)
+		g.store(b, 11, "prev")
+
+		// Probe the hash table.
+		emitIndexWord(b, 14, regBaseA, 13, tableMask)
+		b.Load(15, 14, 0) // htab[idx]
+		ifThenElse(b, isa.BEQ, 15, 13,
+			func() {
+				// Hit: consume the code stored by an earlier miss.  This load
+				// depends on the codetab store on the miss path of an earlier
+				// iteration -- a dependence that exists only along one path.
+				emitIndexWord(b, 16, regBaseB, 13, tableMask)
+				b.Load(17, 16, 0)
+				g.add(b, "checksum", 17, 2)
+				g.inc(b, "hits", 1, 3)
+			},
+			func() {
+				// Miss: install the key and assign it the next free code.
+				b.Store(13, 14, 0)
+				g.load(b, 16, "free_ent")
+				b.AddI(16, 16, 1)
+				g.store(b, 16, "free_ent")
+				emitIndexWord(b, 17, regBaseB, 13, tableMask)
+				b.Store(16, 17, 0)
+				g.inc(b, "misses", 1, 3)
+				g.inc(b, "out_count", 1, 4)
+			})
+
+		// Per-character bookkeeping: two more hot recurrences.
+		g.inc(b, "in_count", 1, 5)
+		g.xor(b, "checksum", 11, 6)
+	})
+
+	b.Load(isa.RV, regGlobals, g.off("checksum"))
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildEspresso constructs the espresso stand-in.
+func buildEspresso(scale int) *program.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	const (
+		cubes     = 32
+		cubeWords = 8
+		coverLen  = cubes * cubeWords
+	)
+	b := program.NewBuilder("espresso")
+	g := newGlobals(b, "total", "onset", "offset", "ptr_cell", "rng", "iters", "checkpoint")
+	coverA := b.AllocWords("coverA", coverLen)
+	coverB := b.AllocWords("coverB", coverLen)
+	b.AllocWords("result", coverLen)
+
+	g.loadBase(b)
+	b.LoadAddr(regBaseA, "coverA")
+	b.LoadAddr(regBaseB, "coverB")
+	b.LoadAddr(19, "result")
+	g.initVal(b, "ptr_cell", int64(g.base+uint64(g.off("onset"))))
+
+	// The two covers are filled with deterministic pseudo-random cube words
+	// at build time.
+	seed := int64(12345)
+	for i := 0; i < coverLen; i++ {
+		seed = buildRand(seed)
+		b.InitWord(coverA+uint64(i)*isa.WordSize, seed)
+		seed = buildRand(seed)
+		b.InitWord(coverB+uint64(i)*isa.WordSize, seed)
+	}
+
+	iters := int64(300 * scale)
+	b.LoadImm(regLimit0, iters)
+	b.Loop(regCount0, regLimit0, true, func() {
+		// Select the cube for this iteration: idx = iter mod cubes.
+		b.AndI(10, regCount0, cubes-1)
+		b.LoadImm(2, cubeWords*isa.WordSize)
+		b.Mul(10, 10, 2)
+		b.Add(11, 10, regBaseA) // cube in coverA
+		b.Add(12, 10, regBaseB) // cube in coverB
+		b.Add(13, 10, 19)       // cube in result
+
+		// Every eighth iteration starts with a convergence check that reads
+		// the running total produced at the end of the previous iteration.
+		// This early read of a late-written value is the costly recurrence of
+		// espresso: blind speculation mis-speculates on it and throws away
+		// nearly a full task of work, whereas synchronizing with the
+		// producing store (PSYNC, SYNC, ESYNC) only stalls the check.
+		b.AndI(14, regCount0, 7)
+		ifThenElse(b, isa.BEQ, 14, isa.Zero,
+			func() {
+				g.load(b, 15, "total")
+				b.AndI(15, 15, 0xffff)
+				g.store(b, 15, "checkpoint")
+			},
+			func() {})
+
+		// Cover bookkeeping happens before the cube operation (loop-carried
+		// state is updated early in the iteration, as the Multiscalar
+		// compiler schedules it): simple recurrences a counter predictor can
+		// learn (onset/offset, iters) plus one reached through a pointer.
+		b.AndI(17, regCount0, 1)
+		ifThenElse(b, isa.BNE, 17, isa.Zero,
+			func() {
+				g.inc(b, "onset", 1, 3)
+				b.AddI(4, regGlobals, g.off("onset"))
+				g.store(b, 4, "ptr_cell")
+			},
+			func() {
+				g.inc(b, "offset", 1, 3)
+				b.AddI(4, regGlobals, g.off("offset"))
+				g.store(b, 4, "ptr_cell")
+			})
+		// Double indirection: *ptr_cell += cube index low bits.
+		g.load(b, 5, "ptr_cell")
+		b.Load(6, 5, 0)
+		b.AndI(7, regCount0, 0xf)
+		b.Add(6, 6, 7)
+		b.Store(6, 5, 0)
+		g.inc(b, "iters", 1, 8)
+
+		// Word-wise cube intersection/union; the popcount proxy accumulates
+		// in a register inside the loop body (an intra-task value).
+		b.AddI(16, isa.Zero, 0)
+		b.LoadImm(regLimit1, cubeWords)
+		b.Loop(regCount1, regLimit1, false, func() {
+			b.SllI(2, regCount1, 3)
+			b.Add(3, 11, 2)
+			b.Load(5, 3, 0) // a word
+			b.Add(3, 12, 2)
+			b.Load(6, 3, 0) // b word
+			b.And(7, 5, 6)
+			b.Or(8, 5, 6)
+			b.Xor(9, 7, 8)
+			b.Add(3, 13, 2)
+			b.Store(9, 3, 0)
+			b.AndI(7, 7, 0xff)
+			b.Add(16, 16, 7)
+		})
+
+		// The cover-wide total is reduced into memory after the cube has been
+		// processed.
+		g.add(b, "total", 16, 2)
+	})
+
+	b.Load(isa.RV, regGlobals, g.off("total"))
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildGCC92 constructs the gcc stand-in.
+func buildGCC92(scale int) *program.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	const (
+		nodes     = 256
+		nodeSize  = 4 // kind, left, right, value (words)
+		tableSize = 256
+		tableMask = tableSize - 1
+		nodeMask  = nodes - 1
+	)
+	b := program.NewBuilder("gcc")
+	g := newGlobals(b, "rng", "nprocessed", "nfolded", "nsubst", "curfn", "depth")
+	nodesBase := b.AllocWords("nodes", nodes*nodeSize)
+	b.AllocWords("symtab", tableSize)
+	b.AllocWords("consttab", tableSize)
+
+	// The IR node pool is built at build time: kinds cycle 0..3, children are
+	// pseudo-random node indices, values are small integers.
+	g.initVal(b, "rng", 7)
+	seed := int64(999)
+	for i := 0; i < nodes; i++ {
+		node := nodesBase + uint64(i*nodeSize)*isa.WordSize
+		b.InitWord(node, int64(i&3))
+		seed = buildRand(seed)
+		b.InitWord(node+isa.WordSize, seed&nodeMask)
+		seed = buildRand(seed)
+		b.InitWord(node+2*isa.WordSize, seed&nodeMask)
+		b.InitWord(node+3*isa.WordSize, seed&0xffff)
+	}
+
+	// Helper passes.  Each is its own Multiscalar task (function entries are
+	// task boundaries), giving gcc the small irregular tasks of the paper.
+	b.Jump("gcc_main")
+
+	// fold_const(node in r10): read the constant table and fold the value
+	// back into the node; only occasionally (when the value divides evenly)
+	// update the constant table itself, so the table recurrences are sparse
+	// and irregular.
+	b.Func("fold_const", func() {
+		b.Push(5)
+		b.Load(2, 10, 3*isa.WordSize) // node value
+		b.LoadAddr(3, "consttab")
+		emitIndexWord(b, 4, 3, 2, tableMask)
+		b.Load(5, 4, 0)
+		b.AddI(5, 5, 1)
+		b.AndI(6, 2, 3)
+		ifThenElse(b, isa.BEQ, 6, isa.Zero,
+			func() { b.Store(5, 4, 0) },
+			func() {})
+		b.Store(5, 10, 3*isa.WordSize)
+		b.Pop(5)
+	})
+
+	// subst(node in r10): read the symbol table and substitute into the node;
+	// the symbol table itself is updated only for a quarter of the values.
+	b.Func("subst", func() {
+		b.Push(5)
+		b.Load(2, 10, 3*isa.WordSize)
+		b.LoadAddr(3, "symtab")
+		emitIndexWord(b, 4, 3, 2, tableMask)
+		b.Load(5, 4, 0)
+		b.Add(5, 5, 2)
+		b.AndI(6, 2, 3)
+		ifThenElse(b, isa.BEQ, 6, isa.Zero,
+			func() { b.Store(5, 4, 0) },
+			func() {})
+		b.Store(5, 10, 3*isa.WordSize)
+		b.Pop(5)
+	})
+
+	// walk(node in r10): follow left/right child indices three hops, reading
+	// values into a register accumulator that is folded into the curfn
+	// global once per walk.
+	b.Func("walk", func() {
+		b.Push(5)
+		b.Move(2, 10)
+		b.AddI(8, isa.Zero, 0)
+		for hop := 0; hop < 3; hop++ {
+			b.Load(3, 2, isa.WordSize)   // left index
+			b.Load(4, 2, 2*isa.WordSize) // right index
+			b.Add(3, 3, 4)
+			b.AndI(3, 3, nodeMask)
+			b.LoadImm(5, nodeSize*isa.WordSize)
+			b.Mul(3, 3, 5)
+			b.LoadAddr(5, "nodes")
+			b.Add(2, 3, 5)
+			b.Load(6, 2, 3*isa.WordSize)
+			b.Add(8, 8, 6)
+		}
+		g.add(b, "curfn", 8, 7)
+		b.Pop(5)
+	})
+
+	b.Label("gcc_main")
+	b.TaskEntry()
+	g.loadBase(b)
+	b.LoadAddr(regBaseA, "nodes")
+
+	iters := int64(500 * scale)
+	b.LoadImm(regLimit0, iters)
+	b.Loop(regCount0, regLimit0, true, func() {
+		// Pick a node pseudo-randomly (irregular access pattern).
+		emitRandMem(b, g, "rng", 11, 2)
+		b.AndI(11, 11, nodeMask)
+		b.LoadImm(2, nodeSize*isa.WordSize)
+		b.Mul(11, 11, 2)
+		b.Add(10, 11, regBaseA) // node address in r10 (argument register)
+		b.Load(12, 10, 0)       // kind
+
+		// Count the node as processed and rotate its kind (so the same node
+		// takes different paths over time) before dispatching.  These
+		// loop-carried updates sit early in the iteration so the per-node
+		// pass selection below determines the task mix, not the bookkeeping.
+		g.inc(b, "nprocessed", 1, 6)
+		b.AddI(13, 12, 1)
+		b.AndI(13, 13, 3)
+		b.Store(13, 10, 0)
+
+		// Dispatch on kind through a compare chain (switch statement).
+		endLbl := uniqueLabel(b, "dispatch_end")
+		k1 := uniqueLabel(b, "kind1")
+		k2 := uniqueLabel(b, "kind2")
+		k3 := uniqueLabel(b, "kind3")
+		b.LoadImm(2, 1)
+		b.Beq(12, 2, k1)
+		b.LoadImm(2, 2)
+		b.Beq(12, 2, k2)
+		b.LoadImm(2, 3)
+		b.Beq(12, 2, k3)
+		b.Call("fold_const")
+		b.Jump(endLbl)
+		b.Label(k1)
+		b.Call("subst")
+		b.Jump(endLbl)
+		b.Label(k2)
+		b.Call("walk")
+		b.Jump(endLbl)
+		b.Label(k3)
+		g.inc(b, "depth", 1, 5)
+		b.Label(endLbl)
+	})
+
+	b.Load(isa.RV, regGlobals, g.off("nprocessed"))
+	b.Halt()
+	b.SetEntry("gcc_main")
+	return b.MustBuild()
+}
+
+// buildSC constructs the sc spreadsheet stand-in.
+func buildSC(scale int) *program.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	const (
+		rows = 24
+		cols = 12
+		// lag is how many columns back the "formula" of a cell reaches.  A
+		// lag of 3 makes the producing cell three tasks away: close enough to
+		// be an in-flight dependence (so WAIT must stall), far enough that
+		// blind speculation usually gets away with it.
+		lag = 3
+	)
+	b := program.NewBuilder("sc")
+	g := newGlobals(b, "sum", "dirty", "lastval", "recalcs")
+	grid := b.AllocWords("grid", rows*cols)
+
+	g.loadBase(b)
+	b.LoadAddr(regBaseA, "grid")
+
+	// The grid is initialised at build time: grid[r][c] = r*cols + c.
+	for i := 0; i < rows*cols; i++ {
+		b.InitWord(grid+uint64(i)*isa.WordSize, int64(i))
+	}
+
+	sweeps := int64(20 * scale)
+	b.LoadImm(regLimit0, sweeps)
+	b.Loop(regCount0, regLimit0, true, func() {
+		b.LoadImm(regLimit1, rows-1)
+		b.Loop(regCount1, regLimit1, false, func() {
+			b.LoadImm(regLimit2, cols-lag)
+			b.Loop(regCount2, regLimit2, true, func() {
+				// Cell (r+1, c+lag): address = grid + ((r+1)*cols + (c+lag))*8.
+				b.AddI(2, regCount1, 1)
+				b.LoadImm(3, cols)
+				b.Mul(2, 2, 3)
+				b.AddI(3, regCount2, lag)
+				b.Add(2, 2, 3)
+				b.SllI(2, 2, 3)
+				b.Add(2, 2, regBaseA) // cell address
+
+				b.Load(4, 2, -int64(lag*isa.WordSize))  // neighbour lag cells left (lag tasks away)
+				b.Load(5, 2, -int64(cols*isa.WordSize)) // upper neighbour (a row of tasks away)
+				b.Add(6, 4, 5)
+				b.SrlI(6, 6, 1)
+				b.AddI(6, 6, 1)
+				b.AndI(6, 6, 0xffff)
+
+				// Only write the cell when its value changes (conditional
+				// producer -- the dependence exists only along this path).
+				b.Load(7, 2, 0)
+				ifThenElse(b, isa.BEQ, 7, 6,
+					func() {},
+					func() {
+						b.Store(6, 2, 0)
+						g.inc(b, "dirty", 1, 8)
+					})
+
+				// Scalar recurrences updated for every cell.
+				g.add(b, "sum", 6, 9)
+				g.store(b, 6, "lastval")
+			})
+		})
+		g.inc(b, "recalcs", 1, 10)
+	})
+
+	b.Load(isa.RV, regGlobals, g.off("sum"))
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildXlisp constructs the xlisp stand-in.
+func buildXlisp(scale int) *program.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	const (
+		cells     = 256
+		cellWords = 3 // car, cdr, mark
+		cellMask  = cells - 1
+		stackLen  = 64
+	)
+	b := program.NewBuilder("xlisp")
+	g := newGlobals(b, "freehead", "allocs", "evals", "stacktop", "rng", "marked")
+	heap := b.AllocWords("heap", cells*cellWords)
+	b.AllocWords("evalstack", stackLen)
+
+	g.loadBase(b)
+	b.LoadAddr(regBaseA, "heap")
+	b.LoadAddr(regBaseB, "evalstack")
+
+	// The cons-cell heap is built at build time: the cdr fields form a ring
+	// (the initial free list), cars hold the cell index, marks start at zero.
+	for i := 0; i < cells; i++ {
+		cell := heap + uint64(i*cellWords)*isa.WordSize
+		next := heap + uint64(((i+1)&cellMask)*cellWords)*isa.WordSize
+		b.InitWord(cell, int64(i))
+		b.InitWord(cell+isa.WordSize, int64(next))
+	}
+	g.initVal(b, "freehead", int64(heap))
+	g.initVal(b, "rng", 11)
+
+	evals := int64(400 * scale)
+	b.LoadImm(regLimit0, evals)
+	b.Loop(regCount0, regLimit0, true, func() {
+		// cons: pop a cell from the free list (hot recurrence on freehead).
+		g.load(b, 10, "freehead")
+		b.Load(11, 10, isa.WordSize) // cdr
+		g.store(b, 11, "freehead")
+		g.inc(b, "allocs", 1, 2)
+		emitRandMem(b, g, "rng", 12, 3)
+		b.AndI(12, 12, 0xfff)
+		b.Store(12, 10, 0) // car = random atom
+
+		// push the new cell onto the eval stack: stack[top] = cell; top++.
+		// The stacktop global is read and written every eval -- another hot
+		// recurrence -- and the stack slots themselves carry push/pop pairs.
+		g.load(b, 13, "stacktop")
+		b.AndI(14, 13, stackLen-1)
+		b.SllI(14, 14, 3)
+		b.Add(14, 14, regBaseB)
+		b.Store(10, 14, 0)
+		b.AddI(13, 13, 1)
+		g.store(b, 13, "stacktop")
+
+		// eval: pop the stack and walk the cdr chain of the popped cell for a
+		// few hops, reading cars (pointer-chased loads), then mark the cell
+		// the walk ends on.
+		g.load(b, 13, "stacktop")
+		b.AddI(13, 13, -1)
+		g.store(b, 13, "stacktop")
+		b.AndI(14, 13, stackLen-1)
+		b.SllI(14, 14, 3)
+		b.Add(14, 14, regBaseB)
+		b.Load(15, 14, 0) // cell pointer
+		b.AddI(9, isa.Zero, 0)
+		b.LoadImm(regLimit1, 4)
+		b.Loop(regCount1, regLimit1, false, func() {
+			b.Load(16, 15, 0) // car
+			b.Add(9, 9, 16)
+			b.Load(15, 15, isa.WordSize) // follow cdr
+		})
+		b.Load(16, 15, 2*isa.WordSize)
+		b.AddI(16, 16, 1)
+		b.Store(16, 15, 2*isa.WordSize) // mark the final cell
+		g.add(b, "marked", 9, 17)
+		g.inc(b, "evals", 1, 18)
+	})
+
+	b.Load(isa.RV, regGlobals, g.off("evals"))
+	b.Halt()
+	return b.MustBuild()
+}

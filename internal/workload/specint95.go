@@ -1,0 +1,445 @@
+package workload
+
+import (
+	"memdep/internal/isa"
+	"memdep/internal/program"
+)
+
+// This file defines the SPECint95 stand-ins used for Figure 7.  Several of
+// them share machinery with the SPECint92 stand-ins (the original programs
+// are themselves revisions of the same applications); the rest model the
+// dependence behaviour the paper attributes to each program.
+
+// withName returns a shallow copy of p under a different benchmark name.  It
+// is used when a SPEC95 program is modelled by the same generator as its
+// SPEC92 counterpart.
+func withName(p *program.Program, name string) *program.Program {
+	q := *p
+	q.Name = name
+	return &q
+}
+
+func init() {
+	register(Workload{
+		Name:  "099.go",
+		Suite: SPECint95,
+		Description: "Go-playing program stand-in: repeated evaluation of moves on a " +
+			"board array with highly irregular, data-dependent access patterns, " +
+			"conditional writes and weak temporal locality.  The paper reports that " +
+			"099.go falls short of the ideal mechanism because its dependence patterns " +
+			"are irregular and control prediction is poor.",
+		DefaultScale: 2,
+		Build:        buildGo,
+	})
+	register(Workload{
+		Name:  "124.m88ksim",
+		Suite: SPECint95,
+		Description: "Microprocessor simulator stand-in: an interpreter loop that fetches " +
+			"instructions from a bytecode array and updates a memory-resident register " +
+			"file and program counter.  The simulated register file and PC are hot " +
+			"recurrences, which is why the mechanism performs close to ideal.",
+		DefaultScale: 2,
+		Build:        buildM88ksim,
+	})
+	register(Workload{
+		Name:  "126.gcc",
+		Suite: SPECint95,
+		Description: "Compiler (same model as the SPECint92 gcc stand-in, larger run): " +
+			"many static dependences, irregular tasks, modest temporal locality.",
+		DefaultScale: 3,
+		Build: func(scale int) *program.Program {
+			return withName(buildGCC92(scale*2), "126.gcc")
+		},
+	})
+	register(Workload{
+		Name:  "129.compress",
+		Suite: SPECint95,
+		Description: "Compressor (same model as the SPECint92 compress stand-in, larger " +
+			"run): scalar globals and hash/code tables with path-dependent producers.",
+		DefaultScale: 3,
+		Build: func(scale int) *program.Program {
+			return withName(buildCompress(scale*2), "129.compress")
+		},
+	})
+	register(Workload{
+		Name:  "130.li",
+		Suite: SPECint95,
+		Description: "Lisp interpreter (same model as the SPECint92 xlisp stand-in): " +
+			"free-list allocation, eval stack and mark phases.",
+		DefaultScale: 3,
+		Build: func(scale int) *program.Program {
+			return withName(buildXlisp(scale*2), "130.li")
+		},
+	})
+	register(Workload{
+		Name:  "132.ijpeg",
+		Suite: SPECint95,
+		Description: "Image compression stand-in: blocked 8x8 transforms that read a " +
+			"block, compute in registers, and write a separate output block.  Few " +
+			"memory recurrences apart from per-block bookkeeping globals, so gains come " +
+			"mostly from the scalar counters.",
+		DefaultScale: 2,
+		Build:        buildIjpeg,
+	})
+	register(Workload{
+		Name:  "134.perl",
+		Suite: SPECint95,
+		Description: "Perl interpreter stand-in: opcode dispatch over a bytecode buffer " +
+			"combined with hash-table updates for variables; hot recurrences on the " +
+			"interpreter state plus path-dependent hash-table producers.",
+		DefaultScale: 2,
+		Build:        buildPerl,
+	})
+	register(Workload{
+		Name:  "147.vortex",
+		Suite: SPECint95,
+		Description: "Object database stand-in: linked record pool with allocation from a " +
+			"free list, traversal and in-place mutation of records.",
+		DefaultScale: 2,
+		Build: func(scale int) *program.Program {
+			return withName(buildChase(chaseParams{
+				name:       "147.vortex",
+				nodes:      512,
+				traversals: 300,
+				walkLen:    12,
+				mutate:     true,
+			}, scale), "147.vortex")
+		},
+	})
+}
+
+// buildGo constructs the 099.go stand-in.
+func buildGo(scale int) *program.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	const (
+		boardSize = 361 // 19x19
+		boardPad  = 512 // power-of-two padded for masking
+		histLen   = 128
+	)
+	b := program.NewBuilder("099.go")
+	g := newGlobals(b, "rng", "moves", "captures", "score", "ko")
+	b.AllocWords("board", boardPad)
+	b.AllocWords("history", histLen)
+	b.AllocWords("liberty", boardPad)
+
+	g.loadBase(b)
+	b.LoadAddr(regBaseA, "board")
+	b.LoadAddr(regBaseB, "liberty")
+	b.LoadAddr(19, "history")
+	g.initVal(b, "rng", 31)
+
+	moves := int64(400 * scale)
+	b.LoadImm(regLimit0, moves)
+	b.Loop(regCount0, regLimit0, true, func() {
+		// Pick a point pseudo-randomly; the board and liberty accesses have
+		// poor locality on purpose.
+		emitRandMem(b, g, "rng", 10, 2)
+		b.AndI(11, 10, boardPad-1)
+		b.SllI(12, 11, 3)
+		b.Add(12, 12, regBaseA) // board cell address
+		b.Load(13, 12, 0)       // current stone
+
+		// Evaluate the four neighbours' liberties (reads only).
+		b.AddI(14, isa.Zero, 0)
+		for _, delta := range []int64{-1, 1, -19, 19} {
+			b.AddI(2, 11, delta)
+			b.AndI(2, 2, boardPad-1)
+			b.SllI(2, 2, 3)
+			b.Add(2, 2, regBaseB)
+			b.Load(3, 2, 0)
+			b.Add(14, 14, 3)
+		}
+
+		// Conditionally place or capture: the stores to board and liberty
+		// happen only along particular paths.
+		ifThenElse(b, isa.BEQ, 13, isa.Zero,
+			func() {
+				// Empty point: place a stone and set its liberty count.
+				b.AddI(3, 14, 1)
+				b.Store(3, 12, 0)
+				b.SllI(4, 11, 3)
+				b.Add(4, 4, regBaseB)
+				b.Store(14, 4, 0)
+				g.inc(b, "moves", 1, 5)
+			},
+			func() {
+				// Occupied: maybe capture when liberties are exhausted.
+				ifThenElse(b, isa.BEQ, 14, isa.Zero,
+					func() {
+						b.Store(isa.Zero, 12, 0)
+						g.inc(b, "captures", 1, 5)
+					},
+					func() {
+						g.inc(b, "ko", 1, 5)
+					})
+			})
+
+		// Append to the move history ring and update the running score.
+		g.load(b, 6, "moves")
+		b.AndI(7, 6, histLen-1)
+		b.SllI(7, 7, 3)
+		b.Add(7, 7, 19)
+		b.Store(11, 7, 0)
+		g.add(b, "score", 14, 8)
+	})
+
+	b.Load(isa.RV, regGlobals, g.off("score"))
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildM88ksim constructs the 124.m88ksim stand-in.
+func buildM88ksim(scale int) *program.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	const (
+		codeLen  = 256
+		simRegs  = 32
+		memWords = 256
+		memMask  = memWords - 1
+		codeMask = codeLen - 1
+	)
+	b := program.NewBuilder("124.m88ksim")
+	g := newGlobals(b, "simpc", "icount", "rng", "flags")
+	simcode := b.AllocWords("simcode", codeLen)
+	b.AllocWords("simregs", simRegs)
+	b.AllocWords("simmem", memWords)
+
+	g.loadBase(b)
+	b.LoadAddr(regBaseA, "simcode")
+	b.LoadAddr(regBaseB, "simregs")
+	b.LoadAddr(19, "simmem")
+
+	// The simulated program (packed words encoding op/dst/src/imm) is
+	// generated at build time.
+	seed := int64(77)
+	for i := 0; i < codeLen; i++ {
+		seed = buildRand(seed)
+		b.InitWord(simcode+uint64(i)*isa.WordSize, seed)
+	}
+
+	steps := int64(600 * scale)
+	b.LoadImm(regLimit0, steps)
+	b.Loop(regCount0, regLimit0, true, func() {
+		// Fetch: the simulated PC is a memory-resident hot recurrence.
+		g.load(b, 10, "simpc")
+		b.AndI(11, 10, codeMask)
+		b.SllI(11, 11, 3)
+		b.Add(11, 11, regBaseA)
+		b.Load(12, 11, 0) // encoded instruction
+
+		// Decode fields.
+		b.AndI(13, 12, 3) // op
+		b.SrlI(14, 12, 2)
+		b.AndI(14, 14, 31) // dst reg
+		b.SrlI(15, 12, 7)
+		b.AndI(15, 15, 31) // src reg
+		b.SrlI(16, 12, 12)
+		b.AndI(16, 16, memMask) // imm / mem index
+
+		// Read the simulated source register (register-file recurrence).
+		b.SllI(2, 15, 3)
+		b.Add(2, 2, regBaseB)
+		b.Load(17, 2, 0)
+
+		// Execute: four op kinds (alu, load, store, branch).
+		end := uniqueLabel(b, "m88k_end")
+		opLoad := uniqueLabel(b, "m88k_load")
+		opStore := uniqueLabel(b, "m88k_store")
+		opBranch := uniqueLabel(b, "m88k_branch")
+		b.LoadImm(2, 1)
+		b.Beq(13, 2, opLoad)
+		b.LoadImm(2, 2)
+		b.Beq(13, 2, opStore)
+		b.LoadImm(2, 3)
+		b.Beq(13, 2, opBranch)
+		// alu: dst = src + imm
+		b.Add(18, 17, 16)
+		b.SllI(2, 14, 3)
+		b.Add(2, 2, regBaseB)
+		b.Store(18, 2, 0)
+		b.Jump(end)
+		b.Label(opLoad)
+		b.SllI(2, 16, 3)
+		b.Add(2, 2, 19)
+		b.Load(18, 2, 0)
+		b.SllI(2, 14, 3)
+		b.Add(2, 2, regBaseB)
+		b.Store(18, 2, 0)
+		b.Jump(end)
+		b.Label(opStore)
+		b.SllI(2, 16, 3)
+		b.Add(2, 2, 19)
+		b.Store(17, 2, 0)
+		b.Jump(end)
+		b.Label(opBranch)
+		ifThenElse(b, isa.BNE, 17, isa.Zero,
+			func() {
+				g.store(b, 16, "simpc")
+			},
+			func() {})
+		g.xor(b, "flags", 17, 3)
+		b.Label(end)
+
+		// Advance the simulated PC and instruction count (recurrences).
+		g.inc(b, "simpc", 1, 4)
+		g.inc(b, "icount", 1, 5)
+	})
+
+	b.Load(isa.RV, regGlobals, g.off("icount"))
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildIjpeg constructs the 132.ijpeg stand-in.
+func buildIjpeg(scale int) *program.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	const (
+		blockWords = 16
+		blocks     = 64
+	)
+	b := program.NewBuilder("132.ijpeg")
+	g := newGlobals(b, "quality", "outbytes", "rng")
+	in := b.AllocWords("in", blocks*blockWords)
+	b.AllocWords("out", blocks*blockWords)
+
+	g.loadBase(b)
+	b.LoadAddr(regBaseA, "in")
+	b.LoadAddr(regBaseB, "out")
+
+	// The input image is filled with deterministic pixel data at build time.
+	seed := int64(3)
+	for i := 0; i < blocks*blockWords; i++ {
+		seed = buildRand(seed)
+		b.InitWord(in+uint64(i)*isa.WordSize, seed&255)
+	}
+
+	passes := int64(30 * scale)
+	b.LoadImm(regLimit0, passes)
+	b.Loop(regCount0, regLimit0, true, func() {
+		b.LoadImm(regLimit1, blocks)
+		b.Loop(regCount1, regLimit1, true, func() {
+			// Transform one block: load, butterfly-style mixing in registers,
+			// store to the output buffer (no cross-block memory recurrence).
+			b.LoadImm(2, blockWords*isa.WordSize)
+			b.Mul(3, regCount1, 2)
+			b.Add(10, 3, regBaseA)
+			b.Add(11, 3, regBaseB)
+			b.AddI(12, isa.Zero, 0)
+			for w := 0; w < blockWords; w += 2 {
+				off := int64(w * isa.WordSize)
+				b.Load(4, 10, off)
+				b.Load(5, 10, off+isa.WordSize)
+				b.Add(6, 4, 5)
+				b.Sub(7, 4, 5)
+				b.FMul(6, 6, 6)
+				b.AndI(6, 6, 0xffff)
+				b.Store(6, 11, off)
+				b.Store(7, 11, off+isa.WordSize)
+				b.Add(12, 12, 6)
+			}
+			// Per-block bookkeeping globals (the only cross-task recurrences).
+			g.add(b, "outbytes", 12, 8)
+		})
+		g.inc(b, "quality", 1, 9)
+	})
+
+	b.Load(isa.RV, regGlobals, g.off("outbytes"))
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildPerl constructs the 134.perl stand-in.
+func buildPerl(scale int) *program.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	const (
+		hashWords = 256
+		hashMask  = hashWords - 1
+		codeLen   = 128
+		codeMask  = codeLen - 1
+	)
+	b := program.NewBuilder("134.perl")
+	g := newGlobals(b, "pc", "sp", "ops", "rng", "accum")
+	bytecode := b.AllocWords("bytecode", codeLen)
+	b.AllocWords("hash", hashWords)
+	b.AllocWords("valstack", 64)
+
+	g.loadBase(b)
+	b.LoadAddr(regBaseA, "bytecode")
+	b.LoadAddr(regBaseB, "hash")
+	b.LoadAddr(19, "valstack")
+
+	// The bytecode program is generated at build time.
+	seed := int64(5)
+	for i := 0; i < codeLen; i++ {
+		seed = buildRand(seed)
+		b.InitWord(bytecode+uint64(i)*isa.WordSize, seed)
+	}
+
+	steps := int64(500 * scale)
+	b.LoadImm(regLimit0, steps)
+	b.Loop(regCount0, regLimit0, true, func() {
+		// Interpreter state (pc, sp, accum) lives in memory: hot recurrences.
+		g.load(b, 10, "pc")
+		b.AndI(11, 10, codeMask)
+		b.SllI(11, 11, 3)
+		b.Add(11, 11, regBaseA)
+		b.Load(12, 11, 0) // opcode word
+		b.AndI(13, 12, 3) // op kind
+		b.SrlI(14, 12, 2)
+		b.AndI(14, 14, hashMask) // hash key
+
+		end := uniqueLabel(b, "perl_end")
+		opGet := uniqueLabel(b, "perl_get")
+		opSet := uniqueLabel(b, "perl_set")
+		opAdd := uniqueLabel(b, "perl_add")
+		b.LoadImm(2, 1)
+		b.Beq(13, 2, opGet)
+		b.LoadImm(2, 2)
+		b.Beq(13, 2, opSet)
+		b.LoadImm(2, 3)
+		b.Beq(13, 2, opAdd)
+		// default: push the key onto the value stack.
+		g.load(b, 3, "sp")
+		b.AndI(4, 3, 63)
+		b.SllI(4, 4, 3)
+		b.Add(4, 4, 19)
+		b.Store(14, 4, 0)
+		g.inc(b, "sp", 1, 5)
+		b.Jump(end)
+		b.Label(opGet)
+		// hash lookup: depends on a store made by a previous "set" op.
+		b.SllI(2, 14, 3)
+		b.Add(2, 2, regBaseB)
+		b.Load(3, 2, 0)
+		g.add(b, "accum", 3, 4)
+		b.Jump(end)
+		b.Label(opSet)
+		// hash store: producer for later "get" ops (path-dependent).
+		b.SllI(2, 14, 3)
+		b.Add(2, 2, regBaseB)
+		b.Load(3, 2, 0)
+		b.Add(3, 3, 14)
+		b.Store(3, 2, 0)
+		b.Jump(end)
+		b.Label(opAdd)
+		g.load(b, 3, "accum")
+		b.Add(3, 3, 14)
+		g.store(b, 3, "accum")
+		b.Label(end)
+
+		g.inc(b, "pc", 1, 6)
+		g.inc(b, "ops", 1, 7)
+	})
+
+	b.Load(isa.RV, regGlobals, g.off("accum"))
+	b.Halt()
+	return b.MustBuild()
+}
