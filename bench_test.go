@@ -1,6 +1,7 @@
 package memdep_test
 
 import (
+	"runtime"
 	"testing"
 
 	"memdep/internal/experiments"
@@ -72,6 +73,42 @@ func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "figure7") }
 func BenchmarkAblationTagging(b *testing.B)   { benchExperiment(b, "ablation-tagging") }
 func BenchmarkAblationPredictor(b *testing.B) { benchExperiment(b, "ablation-predictor") }
 func BenchmarkAblationTableSize(b *testing.B) { benchExperiment(b, "ablation-tablesize") }
+
+// --- engine benchmarks -------------------------------------------------------
+
+// benchEngineGrid runs a representative slice of the experiment grid (the
+// Multiscalar timing tables that dominate a full sweep) on a fresh engine
+// with the given worker-pool size.  Comparing the Serial and Parallel
+// variants measures the engine's wall-clock speedup on a multi-core host;
+// the produced tables are byte-identical by construction.
+func benchEngineGrid(b *testing.B, jobs int) {
+	b.Helper()
+	opts := experiments.Quick()
+	opts.Jobs = jobs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runner := experiments.NewRunner(opts) // cold cache each iteration
+		for _, id := range []string{"table6", "table9", "figure6"} {
+			exp, err := experiments.Lookup(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tab, err := exp.Run(runner)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tab.NumRows() == 0 {
+				b.Fatal("experiment produced an empty table")
+			}
+		}
+	}
+}
+
+// BenchmarkEngineSerial pins the experiment engine to one worker.
+func BenchmarkEngineSerial(b *testing.B) { benchEngineGrid(b, 1) }
+
+// BenchmarkEngineParallel runs the same grid on a GOMAXPROCS-sized pool.
+func BenchmarkEngineParallel(b *testing.B) { benchEngineGrid(b, runtime.GOMAXPROCS(0)) }
 
 // --- component micro-benchmarks ---------------------------------------------
 

@@ -8,15 +8,19 @@
 //	memdep-bench -experiment table3  # run a single experiment
 //	memdep-bench -list               # list experiment identifiers
 //	memdep-bench -csv                # emit CSV instead of aligned text
+//	memdep-bench -jobs 16            # size of the parallel worker pool
+//	memdep-bench -md EXPERIMENTS.md  # regenerate the markdown results file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"memdep/internal/experiments"
+	"memdep/internal/stats"
 )
 
 func main() {
@@ -28,6 +32,8 @@ func main() {
 		maxInstr   = flag.Uint64("max-instructions", 0, "cap committed instructions per benchmark (0 = unlimited)")
 		entries    = flag.Int("mdpt-entries", 64, "MDPT entries")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jobs       = flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		md         = flag.String("md", "", "write the results as markdown to this file (e.g. EXPERIMENTS.md)")
 	)
 	flag.Parse()
 
@@ -49,6 +55,7 @@ func main() {
 		opts.MaxInstructions = *maxInstr
 	}
 	opts.MDPTEntries = *entries
+	opts.Jobs = *jobs
 	runner := experiments.NewRunner(opts)
 
 	var selected []experiments.NamedExperiment
@@ -64,6 +71,12 @@ func main() {
 		selected = []experiments.NamedExperiment{e}
 	}
 
+	var mdOut *strings.Builder
+	if *md != "" {
+		mdOut = &strings.Builder{}
+		writeMarkdownHeader(mdOut, opts, *quick)
+	}
+
 	for _, e := range selected {
 		start := time.Now()
 		tab, err := e.Run(runner)
@@ -71,11 +84,60 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		if *csv {
+		switch {
+		case mdOut != nil:
+			writeMarkdownTable(mdOut, e, tab)
+			fmt.Fprintf(os.Stderr, "[%s completed in %.2fs]\n", e.ID, time.Since(start).Seconds())
+		case *csv:
 			fmt.Printf("# %s\n%s\n", e.ID, tab.CSV())
-		} else {
+		default:
 			fmt.Println(tab.Render())
 			fmt.Printf("[%s completed in %.2fs]\n\n", e.ID, time.Since(start).Seconds())
 		}
 	}
+
+	eng := runner.Engine()
+	fmt.Fprintf(os.Stderr, "[engine: %d workers, %d jobs executed, %d cache hits]\n",
+		eng.Workers(), eng.Executed(), eng.Hits())
+
+	if mdOut != nil {
+		if err := os.WriteFile(*md, []byte(mdOut.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[wrote %s]\n", *md)
+	}
+}
+
+// writeMarkdownHeader emits the preamble of EXPERIMENTS.md.
+func writeMarkdownHeader(b *strings.Builder, opts experiments.Options, quick bool) {
+	b.WriteString("# EXPERIMENTS\n\n")
+	b.WriteString("Tables and figures of \"Dynamic Speculation and Synchronization of Data\n")
+	b.WriteString("Dependences\" (Moshovos, Breach, Vijaykumar, Sohi; ISCA 1997), regenerated\n")
+	b.WriteString("on the synthetic workload suite by `cmd/memdep-bench`.\n\n")
+	if quick {
+		b.WriteString("> Generated with `-quick` (truncated runs); regenerate at full scale with\n")
+		b.WriteString("> `go run ./cmd/memdep-bench -md EXPERIMENTS.md`.\n\n")
+	} else {
+		b.WriteString("Generated with `go run ./cmd/memdep-bench -md EXPERIMENTS.md`.\n\n")
+	}
+	var bounds []string
+	if opts.Scale > 0 {
+		bounds = append(bounds, fmt.Sprintf("scale override %d", opts.Scale))
+	}
+	if opts.MaxInstructions > 0 {
+		bounds = append(bounds, fmt.Sprintf("%d committed instructions per benchmark", opts.MaxInstructions))
+	}
+	if len(bounds) > 0 {
+		fmt.Fprintf(b, "Run bounds: %s.\n\n", strings.Join(bounds, ", "))
+	}
+}
+
+// writeMarkdownTable emits one experiment as a fenced block (the aligned text
+// rendering is already tabular; fencing keeps it intact in markdown).
+func writeMarkdownTable(b *strings.Builder, e experiments.NamedExperiment, tab *stats.Table) {
+	fmt.Fprintf(b, "## %s — %s\n\n", e.ID, e.Description)
+	b.WriteString("```\n")
+	b.WriteString(tab.Render())
+	b.WriteString("```\n\n")
 }

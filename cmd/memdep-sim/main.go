@@ -5,18 +5,27 @@
 //
 //	memdep-sim -bench compress -stages 8 -policy ESYNC
 //	memdep-sim -bench 101.tomcatv -policy ALWAYS -max-instructions 200000
+//	memdep-sim -bench compress -stages 4,8 -policy ALWAYS,ESYNC  # grid, in parallel
 //	memdep-sim -list
+//
+// When -stages or -policy lists several values the full cross product is
+// submitted to the job engine as one job set and executed on -jobs workers;
+// the work item is preprocessed once and shared by every simulation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"strconv"
+	"strings"
 
+	"memdep/internal/engine"
+	"memdep/internal/experiments"
 	"memdep/internal/memdep"
 	"memdep/internal/multiscalar"
 	"memdep/internal/policy"
+	"memdep/internal/program"
 	"memdep/internal/trace"
 	"memdep/internal/workload"
 )
@@ -25,12 +34,13 @@ func main() {
 	var (
 		bench    = flag.String("bench", "compress", "benchmark name")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
-		stages   = flag.Int("stages", 8, "number of processing units")
-		polName  = flag.String("policy", "ESYNC", "speculation policy (NEVER, ALWAYS, WAIT, PSYNC, SYNC, ESYNC)")
+		stages   = flag.String("stages", "8", "number of processing units (comma-separated list for a grid)")
+		polName  = flag.String("policy", "ESYNC", "speculation policy (NEVER, ALWAYS, WAIT, PSYNC, SYNC, ESYNC); comma-separated list for a grid")
 		scale    = flag.Int("scale", 0, "workload scale (0 = benchmark default)")
 		maxInstr = flag.Uint64("max-instructions", 0, "cap committed instructions (0 = unlimited)")
 		entries  = flag.Int("mdpt-entries", 64, "MDPT entries")
 		topPairs = flag.Int("top-pairs", 5, "print the N most frequently mis-speculated static pairs")
+		jobs     = flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -44,35 +54,93 @@ func main() {
 
 	wl, err := workload.Get(*bench)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
-	pol, err := policy.Parse(*polName)
+	stageList, err := parseStages(*stages)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
+	}
+	var pols []policy.Kind
+	for _, p := range strings.Split(*polName, ",") {
+		pol, err := policy.Parse(strings.TrimSpace(p))
+		if err != nil {
+			fatal(err)
+		}
+		pols = append(pols, pol)
 	}
 	s := *scale
 	if s <= 0 {
 		s = wl.DefaultScale
 	}
-	prog := wl.Build(s)
 
-	item, err := multiscalar.Preprocess(prog, trace.Config{MaxInstructions: *maxInstr})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	cfg := multiscalar.DefaultConfig(*stages, pol)
-	cfg.MemDep.Entries = *entries
-	res, err := multiscalar.Simulate(item, cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	eng := experiments.NewEngine(*jobs)
+	progSpec := workload.BuildJob{Name: *bench, Scale: s}
+	itemSpec := multiscalar.PreprocessJob{
+		Program: progSpec,
+		Trace:   trace.Config{MaxInstructions: *maxInstr},
 	}
 
-	fmt.Printf("benchmark        %s (scale %d)\n", *bench, s)
-	fmt.Printf("configuration    %d stages, policy %v, %d MDPT entries\n", *stages, pol, *entries)
+	// Declare the stage × policy grid as one job set.
+	b := eng.NewBatch()
+	type run struct {
+		stages int
+		pol    policy.Kind
+		ref    engine.Ref
+	}
+	var runs []run
+	for _, st := range stageList {
+		for _, pol := range pols {
+			cfg := multiscalar.DefaultConfig(st, pol)
+			cfg.MemDep.Entries = *entries
+			runs = append(runs, run{st, pol, b.Add(multiscalar.SimulateJob{Item: itemSpec, Config: cfg})})
+		}
+	}
+	if err := b.Run(); err != nil {
+		fatal(err)
+	}
+	prog, err := engine.Resolve[*program.Program](eng, progSpec)
+	if err != nil {
+		fatal(err)
+	}
+	item, err := engine.Resolve[*multiscalar.WorkItem](eng, itemSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	for i, rn := range runs {
+		if i > 0 {
+			fmt.Println()
+		}
+		res := engine.Get[multiscalar.Result](b, rn.ref)
+		printResult(*bench, s, rn.stages, rn.pol, *entries, item, prog, res, *topPairs)
+	}
+	if len(runs) > 1 {
+		fmt.Printf("\n[engine: %d workers, %d jobs executed, %d cache hits]\n",
+			eng.Workers(), eng.Executed(), eng.Hits())
+	}
+}
+
+func parseStages(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("invalid -stages value %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func printResult(bench string, scale, stages int, pol policy.Kind, entries int,
+	item *multiscalar.WorkItem, prog *program.Program, res multiscalar.Result, topPairs int) {
+	fmt.Printf("benchmark        %s (scale %d)\n", bench, scale)
+	fmt.Printf("configuration    %d stages, policy %v, %d MDPT entries\n", stages, pol, entries)
 	fmt.Printf("instructions     %d (%d loads, %d stores, %d tasks, %.1f instr/task)\n",
 		res.Instructions, res.Loads, res.Stores, res.Tasks, item.AvgTaskSize())
 	fmt.Printf("cycles           %d\n", res.Cycles)
@@ -95,24 +163,15 @@ func main() {
 	fmt.Printf("sequencer        %d dispatches, %d mispredictions (%.1f%% accuracy)\n",
 		res.Sequencer.TaskDispatches, res.Sequencer.Mispredictions, res.Sequencer.PredictorAcc*100)
 
-	if *topPairs > 0 && len(res.MisspecPairs) > 0 {
-		type pairCount struct {
-			pair memdep.PairKey
-			n    uint64
-		}
-		pairs := make([]pairCount, 0, len(res.MisspecPairs))
-		for k, v := range res.MisspecPairs {
-			pairs = append(pairs, pairCount{k, v})
-		}
-		sort.Slice(pairs, func(i, j int) bool { return pairs[i].n > pairs[j].n })
+	if topPairs > 0 && len(res.MisspecPairs) > 0 {
 		fmt.Printf("hottest mis-speculated static pairs:\n")
-		for i, pc := range pairs {
-			if i >= *topPairs {
+		for i, pc := range memdep.SortedPairCounts(res.MisspecPairs) {
+			if i >= topPairs {
 				break
 			}
-			si, li := prog.Index(pc.pair.StorePC), prog.Index(pc.pair.LoadPC)
+			si, li := prog.Index(pc.Pair.StorePC), prog.Index(pc.Pair.LoadPC)
 			fmt.Printf("  %6d  store @%d (%s)  ->  load @%d (%s)\n",
-				pc.n, si, prog.Code[si], li, prog.Code[li])
+				pc.N, si, prog.Code[si], li, prog.Code[li])
 		}
 	}
 }

@@ -15,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
+	"memdep/internal/engine"
+	"memdep/internal/experiments"
 	"memdep/internal/memdep"
+	"memdep/internal/program"
 	"memdep/internal/stats"
 	"memdep/internal/trace"
 	"memdep/internal/window"
@@ -32,6 +34,7 @@ func main() {
 		maxInstr = flag.Uint64("max-instructions", 0, "cap committed instructions (0 = unlimited)")
 		ws       = flag.Int("window", 64, "window size for -mode deps")
 		top      = flag.Int("top", 10, "number of hottest dependences to print for -mode deps")
+		jobs     = flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -44,15 +47,25 @@ func main() {
 	if s <= 0 {
 		s = wl.DefaultScale
 	}
-	prog := wl.Build(s)
 	traceCfg := trace.Config{MaxInstructions: *maxInstr}
+
+	// All inspection modes resolve their inputs through the job engine, so a
+	// shell loop over modes (or several benchmarks in future) shares programs
+	// and functional runs.
+	eng := experiments.NewEngine(*jobs)
+	progSpec := workload.BuildJob{Name: *bench, Scale: s}
+	prog, err := engine.Resolve[*program.Program](eng, progSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	switch *mode {
 	case "disasm":
 		fmt.Print(prog.Disassemble())
 
 	case "summary":
-		st, err := trace.Run(prog, traceCfg, nil)
+		st, err := engine.Resolve[trace.Stats](eng, trace.RunJob{Program: progSpec, Config: traceCfg})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -109,10 +122,13 @@ func main() {
 		fmt.Print(t.Render())
 
 	case "deps":
-		results, err := window.Analyze(prog, window.Config{
-			WindowSizes: []int{*ws},
-			DDCSizes:    window.DefaultDDCSizes(),
-			Trace:       traceCfg,
+		results, err := engine.Resolve[[]window.Result](eng, window.AnalyzeJob{
+			Program: progSpec,
+			Config: window.Config{
+				WindowSizes: []int{*ws},
+				DDCSizes:    window.DefaultDDCSizes(),
+				Trace:       traceCfg,
+			},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -126,23 +142,14 @@ func main() {
 		for _, cs := range window.DefaultDDCSizes() {
 			fmt.Printf("DDC %4d entries: %.2f%% miss rate\n", cs, res.DDCMissRate[cs])
 		}
-		type pairCount struct {
-			pair memdep.PairKey
-			n    uint64
-		}
-		pairs := make([]pairCount, 0, len(res.PairCounts))
-		for k, v := range res.PairCounts {
-			pairs = append(pairs, pairCount{k, v})
-		}
-		sort.Slice(pairs, func(i, j int) bool { return pairs[i].n > pairs[j].n })
 		fmt.Println("hottest static dependences:")
-		for i, pc := range pairs {
+		for i, pc := range memdep.SortedPairCounts(res.PairCounts) {
 			if i >= *top {
 				break
 			}
-			si, li := prog.Index(pc.pair.StorePC), prog.Index(pc.pair.LoadPC)
+			si, li := prog.Index(pc.Pair.StorePC), prog.Index(pc.Pair.LoadPC)
 			fmt.Printf("  %7d  store @%d (%s)  ->  load @%d (%s)\n",
-				pc.n, si, prog.Code[si], li, prog.Code[li])
+				pc.N, si, prog.Code[si], li, prog.Code[li])
 		}
 
 	default:

@@ -8,8 +8,10 @@
 // functional simulator (internal/trace), the unrealistic OOO window model
 // (internal/window), the Multiscalar timing simulator and its substrates
 // (internal/multiscalar, internal/arb, internal/cache, internal/ctrlflow),
-// the speculation policies (internal/policy) and the experiment drivers that
-// regenerate every table and figure of the paper (internal/experiments).
+// the speculation policies (internal/policy), the job-based parallel
+// execution engine that schedules simulations over a worker pool
+// (internal/engine) and the experiment drivers that regenerate every table
+// and figure of the paper (internal/experiments).
 //
 // See README.md for a walkthrough, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the measured results; cmd/memdep-bench regenerates the

@@ -2,6 +2,10 @@
 // Figures 5 and 6 of the paper: NEVER, ALWAYS (blind), WAIT (selective),
 // PSYNC (ideal), and the MDPT/MDST mechanism with the SYNC and ESYNC
 // predictors, on 4- and 8-stage Multiscalar processors.
+//
+// The whole stage × policy grid is declared as one job set and executed in
+// parallel on the -jobs worker pool; the preprocessed work item is shared by
+// all twelve simulations.
 package main
 
 import (
@@ -9,6 +13,8 @@ import (
 	"fmt"
 	"log"
 
+	"memdep/internal/engine"
+	"memdep/internal/experiments"
 	"memdep/internal/multiscalar"
 	"memdep/internal/policy"
 	"memdep/internal/stats"
@@ -19,13 +25,38 @@ import (
 func main() {
 	bench := flag.String("bench", "sc", "benchmark to compare policies on")
 	maxInstr := flag.Uint64("max-instructions", 150_000, "cap on committed instructions")
+	jobs := flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	wl, err := workload.Get(*bench)
 	if err != nil {
 		log.Fatal(err)
 	}
-	item, err := multiscalar.Preprocess(wl.Build(wl.DefaultScale), trace.Config{MaxInstructions: *maxInstr})
+
+	eng := experiments.NewEngine(*jobs)
+	itemSpec := multiscalar.PreprocessJob{
+		Program: workload.BuildJob{Name: wl.Name, Scale: wl.DefaultScale},
+		Trace:   trace.Config{MaxInstructions: *maxInstr},
+	}
+
+	// Declare the full grid before running anything.
+	b := eng.NewBatch()
+	type run struct {
+		stages int
+		pol    policy.Kind
+		ref    engine.Ref
+	}
+	var runs []run
+	for _, stages := range []int{4, 8} {
+		for _, pol := range policy.All() {
+			ref := b.Add(multiscalar.SimulateJob{Item: itemSpec, Config: multiscalar.DefaultConfig(stages, pol)})
+			runs = append(runs, run{stages, pol, ref})
+		}
+	}
+	if err := b.Run(); err != nil {
+		log.Fatal(err)
+	}
+	item, err := engine.Resolve[*multiscalar.WorkItem](eng, itemSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,27 +65,23 @@ func main() {
 		fmt.Sprintf("Dependence speculation policies on %s (%d instructions)", wl.Name, item.Instructions),
 		"stages", "policy", "IPC", "speedup vs NEVER", "misspec/load", "loads delayed")
 
-	for _, stages := range []int{4, 8} {
-		var never multiscalar.Result
-		for _, pol := range policy.All() {
-			res, err := multiscalar.Simulate(item, multiscalar.DefaultConfig(stages, pol))
-			if err != nil {
-				log.Fatal(err)
-			}
-			if pol == policy.Never {
-				never = res
-			}
-			table.AddRow(
-				fmt.Sprint(stages),
-				pol.String(),
-				stats.FormatFloat(res.IPC(), 2),
-				stats.FormatSpeedup(res.SpeedupOver(never)),
-				stats.FormatFloat(res.MisspecsPerCommittedLoad(), 4),
-				fmt.Sprint(res.LoadsWaited),
-			)
+	var never multiscalar.Result
+	for _, rn := range runs {
+		res := engine.Get[multiscalar.Result](b, rn.ref)
+		if rn.pol == policy.Never {
+			never = res
 		}
+		table.AddRow(
+			fmt.Sprint(rn.stages),
+			rn.pol.String(),
+			stats.FormatFloat(res.IPC(), 2),
+			stats.FormatSpeedup(res.SpeedupOver(never)),
+			stats.FormatFloat(res.MisspecsPerCommittedLoad(), 4),
+			fmt.Sprint(res.LoadsWaited),
+		)
 	}
 	fmt.Print(table.Render())
+	fmt.Printf("\n[engine: %d workers, %d jobs executed]\n", eng.Workers(), eng.Executed())
 	fmt.Println("\nPolicy descriptions:")
 	for _, pol := range policy.All() {
 		fmt.Printf("  %-7s %s\n", pol, pol.Description())

@@ -2,49 +2,66 @@
 // blind data dependence speculation (ALWAYS) against the paper's
 // prediction/synchronization mechanism (ESYNC) on an 8-stage Multiscalar
 // processor.
+//
+// Everything runs through the job engine: the program build, the functional
+// run and the two timing simulations are declared as jobs, the two
+// simulations execute in parallel on the -jobs worker pool, and the
+// preprocessed work item is computed once and shared by both.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
+	"memdep/internal/engine"
+	"memdep/internal/experiments"
 	"memdep/internal/multiscalar"
 	"memdep/internal/policy"
+	"memdep/internal/program"
 	"memdep/internal/trace"
 	"memdep/internal/workload"
 )
 
 func main() {
-	// 1. Pick a benchmark from the synthetic suite and build its program.
+	jobs := flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	// experiments.NewEngine wires every evaluation layer's simulator into
+	// the engine (program build, functional trace, window analysis,
+	// Multiscalar preprocess + simulate).
+	eng := experiments.NewEngine(*jobs)
+
+	// 1. Pick a benchmark from the synthetic suite; the build job resolves to
+	// its program.
 	wl := workload.MustGet("compress")
-	prog := wl.Build(1)
+	progSpec := workload.BuildJob{Name: wl.Name}
+	prog, err := engine.Resolve[*program.Program](eng, progSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("benchmark %s: %d static instructions\n", wl.Name, prog.Len())
 
 	// 2. Run it on the functional simulator to see what it does.
-	st, err := trace.Run(prog, trace.Config{}, nil)
+	st, err := engine.Resolve[trace.Stats](eng, trace.RunJob{Program: progSpec})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("functional run: %d instructions, %d loads, %d stores, %d tasks\n",
 		st.Instructions, st.Loads, st.Stores, st.Tasks)
 
-	// 3. Preprocess the committed stream into Multiscalar tasks.
-	item, err := multiscalar.Preprocess(prog, trace.Config{})
-	if err != nil {
+	// 3. Declare the two timing simulations -- blind speculation and the
+	// MDPT/MDST mechanism with the ESYNC predictor -- as one job set.  The
+	// preprocessing job they share runs once.
+	itemSpec := multiscalar.PreprocessJob{Program: progSpec}
+	b := eng.NewBatch()
+	alwaysRef := b.Add(multiscalar.SimulateJob{Item: itemSpec, Config: multiscalar.DefaultConfig(8, policy.Always)})
+	esyncRef := b.Add(multiscalar.SimulateJob{Item: itemSpec, Config: multiscalar.DefaultConfig(8, policy.ESync)})
+	if err := b.Run(); err != nil {
 		log.Fatal(err)
 	}
-
-	// 4. Simulate an 8-stage Multiscalar processor under two speculation
-	// policies: blind speculation and the MDPT/MDST mechanism with the ESYNC
-	// predictor.
-	always, err := multiscalar.Simulate(item, multiscalar.DefaultConfig(8, policy.Always))
-	if err != nil {
-		log.Fatal(err)
-	}
-	esync, err := multiscalar.Simulate(item, multiscalar.DefaultConfig(8, policy.ESync))
-	if err != nil {
-		log.Fatal(err)
-	}
+	always := engine.Get[multiscalar.Result](b, alwaysRef)
+	esync := engine.Get[multiscalar.Result](b, esyncRef)
 
 	fmt.Printf("\n%-22s %12s %12s\n", "", "ALWAYS", "ESYNC")
 	fmt.Printf("%-22s %12d %12d\n", "cycles", always.Cycles, esync.Cycles)
@@ -52,4 +69,5 @@ func main() {
 	fmt.Printf("%-22s %12d %12d\n", "mis-speculations", always.Misspeculations, esync.Misspeculations)
 	fmt.Printf("%-22s %12d %12d\n", "work squashed (instr)", always.SquashedInstructions, esync.SquashedInstructions)
 	fmt.Printf("\nESYNC speedup over blind speculation: %+.1f%%\n", esync.SpeedupOver(always))
+	fmt.Printf("[engine: %d workers, %d jobs executed]\n", eng.Workers(), eng.Executed())
 }

@@ -1,15 +1,21 @@
 // Windowstudy reproduces the dependence-behaviour characterisation of
-// section 5.3 of the paper (Tables 3-5) for one benchmark: how the number of
-// worst-case mis-speculations grows with the instruction window, how few
-// static store→load pairs account for them, and how well small data
+// section 5.3 of the paper (Tables 3-5) for one or more benchmarks: how the
+// number of worst-case mis-speculations grows with the instruction window,
+// how few static store→load pairs account for them, and how well small data
 // dependence caches capture those pairs.
+//
+// Each benchmark's analysis is one engine job; with several -bench values
+// (comma-separated) the analyses run in parallel on the -jobs worker pool.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
+	"memdep/internal/engine"
+	"memdep/internal/experiments"
 	"memdep/internal/stats"
 	"memdep/internal/trace"
 	"memdep/internal/window"
@@ -17,43 +23,59 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "compress", "benchmark to analyse")
+	bench := flag.String("bench", "compress", "benchmark(s) to analyse, comma-separated")
 	maxInstr := flag.Uint64("max-instructions", 300_000, "cap on committed instructions")
+	jobs := flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	wl, err := workload.Get(*bench)
-	if err != nil {
-		log.Fatal(err)
-	}
-	prog := wl.Build(wl.DefaultScale)
-
-	results, err := window.Analyze(prog, window.Config{
-		WindowSizes: window.DefaultWindowSizes(),
-		DDCSizes:    window.DefaultDDCSizes(),
-		Trace:       trace.Config{MaxInstructions: *maxInstr},
-	})
-	if err != nil {
-		log.Fatal(err)
+	var names []string
+	for _, n := range strings.Split(*bench, ",") {
+		names = append(names, strings.TrimSpace(n))
 	}
 
-	table := stats.NewTable(
-		fmt.Sprintf("Unrealistic OOO model: memory dependence behaviour of %s", wl.Name),
-		"window", "misspecs", "misspec/load", "static pairs", "pairs for 99.9%",
-		"DDC-32 miss%", "DDC-128 miss%", "DDC-512 miss%")
-	for _, r := range results {
-		table.AddRow(
-			fmt.Sprint(r.WindowSize),
-			stats.FormatCount(r.Misspeculations),
-			stats.FormatFloat(r.MisspecRate(), 4),
-			fmt.Sprint(r.StaticPairs),
-			fmt.Sprint(r.PairsForCoverage),
-			stats.FormatPercent(r.DDCMissRate[32]),
-			stats.FormatPercent(r.DDCMissRate[128]),
-			stats.FormatPercent(r.DDCMissRate[512]),
-		)
+	eng := experiments.NewEngine(*jobs)
+
+	b := eng.NewBatch()
+	refs := make([]engine.Ref, len(names))
+	for i, name := range names {
+		if _, err := workload.Get(name); err != nil {
+			log.Fatal(err)
+		}
+		refs[i] = b.Add(window.AnalyzeJob{
+			Program: workload.BuildJob{Name: name},
+			Config: window.Config{
+				WindowSizes: window.DefaultWindowSizes(),
+				DDCSizes:    window.DefaultDDCSizes(),
+				Trace:       trace.Config{MaxInstructions: *maxInstr},
+			},
+		})
 	}
-	fmt.Print(table.Render())
-	fmt.Println("\nObservations to compare against the paper:")
+	if err := b.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	for i, name := range names {
+		results := engine.Get[[]window.Result](b, refs[i])
+		table := stats.NewTable(
+			fmt.Sprintf("Unrealistic OOO model: memory dependence behaviour of %s", name),
+			"window", "misspecs", "misspec/load", "static pairs", "pairs for 99.9%",
+			"DDC-32 miss%", "DDC-128 miss%", "DDC-512 miss%")
+		for _, r := range results {
+			table.AddRow(
+				fmt.Sprint(r.WindowSize),
+				stats.FormatCount(r.Misspeculations),
+				stats.FormatFloat(r.MisspecRate(), 4),
+				fmt.Sprint(r.StaticPairs),
+				fmt.Sprint(r.PairsForCoverage),
+				stats.FormatPercent(r.DDCMissRate[32]),
+				stats.FormatPercent(r.DDCMissRate[128]),
+				stats.FormatPercent(r.DDCMissRate[512]),
+			)
+		}
+		fmt.Print(table.Render())
+		fmt.Println()
+	}
+	fmt.Println("Observations to compare against the paper:")
 	fmt.Println("  * mis-speculations grow sharply as the window widens (Table 3);")
 	fmt.Println("  * a handful of static pairs covers 99.9% of them (Table 4);")
 	fmt.Println("  * moderate DDCs capture most of those pairs (Table 5).")

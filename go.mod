@@ -1,0 +1,3 @@
+module memdep
+
+go 1.24

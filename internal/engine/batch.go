@@ -1,0 +1,54 @@
+package engine
+
+// Ref is a handle into a Batch: Add returns one, Result and Get accept one
+// after the batch has run.
+type Ref int
+
+// Batch collects a declarative job set and resolves it in one parallel Run.
+// Drivers build their whole simulation grid first (Add deduplicates specs by
+// key, so shared baselines cost one job), execute it with Run, and then
+// assemble their output from the positional results -- which is what makes
+// driver output independent of the worker count.
+type Batch struct {
+	eng     *Engine
+	specs   []Spec
+	index   map[string]Ref
+	results []any
+}
+
+// NewBatch creates an empty batch bound to the engine.
+func (e *Engine) NewBatch() *Batch {
+	return &Batch{eng: e, index: make(map[string]Ref)}
+}
+
+// Add appends a job to the set and returns its handle.  Adding a spec whose
+// key is already present returns the existing handle instead of scheduling
+// the job twice.
+func (b *Batch) Add(spec Spec) Ref {
+	k := Key(spec)
+	if r, ok := b.index[k]; ok {
+		return r
+	}
+	r := Ref(len(b.specs))
+	b.specs = append(b.specs, spec)
+	b.index[k] = r
+	return r
+}
+
+// Len returns the number of distinct jobs in the set.
+func (b *Batch) Len() int { return len(b.specs) }
+
+// Run executes the job set on the engine's worker pool.
+func (b *Batch) Run() error {
+	results, err := b.eng.Run(b.specs)
+	b.results = results
+	return err
+}
+
+// Result returns the raw result of a job after Run has succeeded.
+func (b *Batch) Result(r Ref) any { return b.results[r] }
+
+// Get returns the typed result of a job after Run has succeeded.  It panics
+// on a type mismatch, which indicates a driver bug (a ref used with the wrong
+// kind), not a runtime condition.
+func Get[T any](b *Batch, r Ref) T { return b.results[r].(T) }

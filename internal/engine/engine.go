@@ -1,0 +1,218 @@
+// Package engine is the job-based parallel execution engine behind the
+// experiment drivers.  The three evaluation layers of the reproduction -- the
+// functional simulator (internal/trace), the unrealistic OOO window analyzer
+// (internal/window) and the Multiscalar timing simulator
+// (internal/multiscalar) -- plug into it as job kinds: each layer registers a
+// Simulator that knows how to execute the Specs of its kind, and drivers
+// submit declarative job sets instead of looping over simulations serially.
+//
+// The engine provides three guarantees the experiment stack relies on:
+//
+//   - Memoization with deduplication: Do is a singleflight -- the first
+//     caller of a (kind, key) pair computes the job, concurrent callers of
+//     the same pair block until that computation finishes, and later callers
+//     get the cached value.  Table and figure drivers running concurrently
+//     therefore share functional traces, work items and timing results
+//     instead of recomputing them.
+//
+//   - Bounded parallelism: Run executes a job set on a worker pool of a
+//     configurable size (default GOMAXPROCS).  Jobs may resolve dependency
+//     jobs re-entrantly through Do; dependencies are computed inline on the
+//     worker that needs them first, so the pool cannot deadlock as long as
+//     specs form a DAG.
+//
+//   - Deterministic ordering: Run returns results positionally, one per
+//     submitted spec, regardless of the order in which workers finish, so
+//     driver output is byte-identical at every worker count.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Spec describes one job declaratively: a kind naming the Simulator that can
+// execute it, and a cache key unique among all jobs of that kind that produce
+// distinct results.  Specs must be comparable-by-key descriptions of work
+// (benchmark names, configurations), not the work itself, and may reference
+// other Specs as dependencies.  The dependency graph must be acyclic: a job
+// that (transitively) resolves its own spec deadlocks.
+type Spec interface {
+	// JobKind names the simulator that executes this spec.
+	JobKind() string
+	// CacheKey identifies the job's result within its kind.  Two specs of
+	// the same kind with equal keys must describe the same computation.
+	CacheKey() string
+}
+
+// Simulator executes the jobs of one kind.  Implementations must be safe for
+// concurrent use and must be deterministic: the same spec must always produce
+// an equivalent result.
+type Simulator interface {
+	// JobKind returns the kind this simulator handles.
+	JobKind() string
+	// Simulate executes the job.  The engine is passed in so the job can
+	// resolve dependency specs through eng.Do (memoized and re-entrant).
+	Simulate(eng *Engine, spec Spec) (any, error)
+}
+
+// Key returns the engine-wide cache key of a spec.
+func Key(spec Spec) string {
+	return spec.JobKind() + "\x00" + spec.CacheKey()
+}
+
+// call is one memoized (possibly in-flight) job execution.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Engine schedules jobs over a worker pool and memoizes their results.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	sims  map[string]Simulator
+	calls map[string]*call
+
+	executed atomic.Uint64
+	hits     atomic.Uint64
+}
+
+// New creates an engine with the given worker-pool size; workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers: workers,
+		sims:    make(map[string]Simulator),
+		calls:   make(map[string]*call),
+	}
+}
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Register installs simulators, one per job kind.  Registering a kind twice
+// replaces the earlier simulator.
+func (e *Engine) Register(sims ...Simulator) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range sims {
+		e.sims[s.JobKind()] = s
+	}
+}
+
+// Executed returns the number of jobs actually computed (cache misses).
+func (e *Engine) Executed() uint64 { return e.executed.Load() }
+
+// Hits returns the number of Do calls served from the cache or deduplicated
+// onto an in-flight computation.
+func (e *Engine) Hits() uint64 { return e.hits.Load() }
+
+// CacheLen returns the number of memoized jobs (including in-flight ones).
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.calls)
+}
+
+// Do executes one job, memoized: the first caller computes it inline, and
+// every other caller -- concurrent or later -- shares that result.  Errors
+// are memoized like values.  Do is re-entrant: a running job may call Do to
+// resolve its dependencies.
+func (e *Engine) Do(spec Spec) (any, error) {
+	k := Key(spec)
+	e.mu.Lock()
+	if c, ok := e.calls[k]; ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		<-c.done
+		return c.val, c.err
+	}
+	sim, ok := e.sims[spec.JobKind()]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("engine: no simulator registered for job kind %q", spec.JobKind())
+	}
+	c := &call{done: make(chan struct{})}
+	e.calls[k] = c
+	e.mu.Unlock()
+
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				c.val = nil
+				c.err = fmt.Errorf("engine: %s job %q panicked: %v", spec.JobKind(), spec.CacheKey(), p)
+			}
+			close(c.done)
+		}()
+		c.val, c.err = sim.Simulate(e, spec)
+	}()
+	e.executed.Add(1)
+	return c.val, c.err
+}
+
+// Run executes a job set on the worker pool and returns the results
+// positionally: results[i] belongs to specs[i] whatever order the workers
+// finish in.  Duplicate specs are deduplicated by the memoized Do.  If any
+// job fails, Run returns the error of the smallest failing index (so the
+// reported error is deterministic too); the results of successful jobs are
+// still filled in.
+func (e *Engine) Run(specs []Spec) ([]any, error) {
+	results := make([]any, len(specs))
+	errs := make([]error, len(specs))
+	workers := e.workers
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, s := range specs {
+			results[i], errs[i] = e.Do(s)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = e.Do(specs[i])
+				}
+			}()
+		}
+		for i := range specs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Resolve runs one job through the memoized Do and asserts its result type.
+func Resolve[T any](e *Engine, spec Spec) (T, error) {
+	v, err := e.Do(spec)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	t, ok := v.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("engine: %s job %q returned %T, want %T",
+			spec.JobKind(), spec.CacheKey(), v, zero)
+	}
+	return t, nil
+}

@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	"memdep/internal/engine"
 	"memdep/internal/memdep"
+	"memdep/internal/multiscalar"
 	"memdep/internal/policy"
 	"memdep/internal/stats"
 	"memdep/internal/workload"
@@ -14,21 +16,33 @@ import (
 // everywhere else) and the data-address scheme, on the 8-stage configuration
 // with the SYNC predictor.
 func (r *Runner) AblationTagging() (*stats.Table, error) {
-	t := stats.NewTable("Ablation: dynamic-instance tagging scheme (8 stages, SYNC predictor)",
-		"benchmark", "distance IPC", "address IPC", "distance misspec/load", "address misspec/load")
 	const stages = 8
+
+	b := r.eng.NewBatch()
+	type cell struct {
+		name       string
+		dist, addr engine.Ref
+	}
+	var cells []cell
 	for _, name := range workload.SPECint92Names() {
-		dist, err := r.Simulate(name, stages, policy.Sync)
-		if err != nil {
-			return nil, err
-		}
 		cfg := r.simConfig(stages, policy.Sync)
 		cfg.MemDep.TagByAddress = true
-		addr, err := r.simulateWith(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(name,
+		cells = append(cells, cell{
+			name: name,
+			dist: b.Add(r.simSpec(name, stages, policy.Sync)),
+			addr: b.Add(r.simSpecWith(name, cfg)),
+		})
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("Ablation: dynamic-instance tagging scheme (8 stages, SYNC predictor)",
+		"benchmark", "distance IPC", "address IPC", "distance misspec/load", "address misspec/load")
+	for _, c := range cells {
+		dist := engine.Get[multiscalar.Result](b, c.dist)
+		addr := engine.Get[multiscalar.Result](b, c.addr)
+		t.AddRow(c.name,
 			stats.FormatFloat(dist.IPC(), 2),
 			stats.FormatFloat(addr.IPC(), 2),
 			stats.FormatFloat(dist.MisspecsPerCommittedLoad(), 4),
@@ -41,33 +55,37 @@ func (r *Runner) AblationTagging() (*stats.Table, error) {
 // (always-synchronize, SYNC counter, ESYNC counter + task PC) on the 8-stage
 // configuration.
 func (r *Runner) AblationPredictor() (*stats.Table, error) {
-	t := stats.NewTable("Ablation: MDPT prediction policy (8 stages)",
-		"benchmark", "ALWAYS-SYNC IPC", "SYNC IPC", "ESYNC IPC", "PSYNC IPC")
 	const stages = 8
+
+	b := r.eng.NewBatch()
+	type cell struct {
+		name                           string
+		alwaysSync, sync, esync, psync engine.Ref
+	}
+	var cells []cell
 	for _, name := range workload.SPECint92Names() {
 		cfg := r.simConfig(stages, policy.Sync)
 		cfg.MemDep.Predictor = memdep.PredictAlways
-		alwaysSync, err := r.simulateWith(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		syncRes, err := r.Simulate(name, stages, policy.Sync)
-		if err != nil {
-			return nil, err
-		}
-		esyncRes, err := r.Simulate(name, stages, policy.ESync)
-		if err != nil {
-			return nil, err
-		}
-		psyncRes, err := r.Simulate(name, stages, policy.PerfectSync)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(name,
-			stats.FormatFloat(alwaysSync.IPC(), 2),
-			stats.FormatFloat(syncRes.IPC(), 2),
-			stats.FormatFloat(esyncRes.IPC(), 2),
-			stats.FormatFloat(psyncRes.IPC(), 2))
+		cells = append(cells, cell{
+			name:       name,
+			alwaysSync: b.Add(r.simSpecWith(name, cfg)),
+			sync:       b.Add(r.simSpec(name, stages, policy.Sync)),
+			esync:      b.Add(r.simSpec(name, stages, policy.ESync)),
+			psync:      b.Add(r.simSpec(name, stages, policy.PerfectSync)),
+		})
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("Ablation: MDPT prediction policy (8 stages)",
+		"benchmark", "ALWAYS-SYNC IPC", "SYNC IPC", "ESYNC IPC", "PSYNC IPC")
+	for _, c := range cells {
+		t.AddRow(c.name,
+			stats.FormatFloat(engine.Get[multiscalar.Result](b, c.alwaysSync).IPC(), 2),
+			stats.FormatFloat(engine.Get[multiscalar.Result](b, c.sync).IPC(), 2),
+			stats.FormatFloat(engine.Get[multiscalar.Result](b, c.esync).IPC(), 2),
+			stats.FormatFloat(engine.Get[multiscalar.Result](b, c.psync).IPC(), 2))
 	}
 	t.Note = "ALWAYS-SYNC omits the prediction counter: any matching MDPT entry forces synchronization."
 	return t, nil
@@ -79,24 +97,38 @@ func ablationTableSizes() []int { return []int{16, 32, 64, 128, 256} }
 // AblationTableSize sweeps the MDPT size (the paper evaluates 64 entries and
 // discusses capacity problems for 103.su2cor and 145.fpppp).
 func (r *Runner) AblationTableSize() (*stats.Table, error) {
+	const stages = 8
+	benchmarks := append(append([]string{}, workload.SPECint92Names()...),
+		"103.su2cor", "145.fpppp")
+
+	b := r.eng.NewBatch()
+	type cell struct {
+		name string
+		refs []engine.Ref
+	}
+	var cells []cell
+	for _, name := range benchmarks {
+		c := cell{name: name}
+		for _, entries := range ablationTableSizes() {
+			cfg := r.simConfig(stages, policy.ESync)
+			cfg.MemDep.Entries = entries
+			c.refs = append(c.refs, b.Add(r.simSpecWith(name, cfg)))
+		}
+		cells = append(cells, c)
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+
 	cols := []string{"benchmark"}
 	for _, n := range ablationTableSizes() {
 		cols = append(cols, fmt.Sprintf("%d entries", n))
 	}
 	t := stats.NewTable("Ablation: MDPT size, ESYNC IPC (8 stages)", cols...)
-	const stages = 8
-	benchmarks := append(append([]string{}, workload.SPECint92Names()...),
-		"103.su2cor", "145.fpppp")
-	for _, name := range benchmarks {
-		row := []string{name}
-		for _, entries := range ablationTableSizes() {
-			cfg := r.simConfig(stages, policy.ESync)
-			cfg.MemDep.Entries = entries
-			res, err := r.simulateWith(name, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.FormatFloat(res.IPC(), 2))
+	for _, c := range cells {
+		row := []string{c.name}
+		for _, ref := range c.refs {
+			row = append(row, stats.FormatFloat(engine.Get[multiscalar.Result](b, ref).IPC(), 2))
 		}
 		t.AddRow(row...)
 	}

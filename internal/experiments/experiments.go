@@ -4,18 +4,24 @@
 // rows mirror the corresponding table or figure, regenerated on the synthetic
 // workload suite.
 //
-// The drivers share a Runner, which caches functional traces (as Multiscalar
-// work items) and timing-simulation results so that, for example, the ALWAYS
-// baseline computed for Figure 5 is reused by Figure 6 and Table 9.
+// The drivers share a Runner built on the job engine (internal/engine): each
+// driver declares its whole benchmark × configuration grid as a job set, the
+// engine executes the set on a worker pool, and the driver assembles the
+// table from the positional results.  Jobs are memoized engine-wide with
+// singleflight deduplication, so for example the ALWAYS baseline computed for
+// Figure 5 is reused by Figure 6 and Table 9 -- even when those drivers run
+// concurrently from different goroutines.  Because assembly is positional and
+// the simulators are deterministic, a driver's output is byte-identical at
+// every worker count.
 package experiments
 
 import (
-	"fmt"
-
+	"memdep/internal/engine"
 	"memdep/internal/multiscalar"
 	"memdep/internal/policy"
 	"memdep/internal/program"
 	"memdep/internal/trace"
+	"memdep/internal/window"
 	"memdep/internal/workload"
 )
 
@@ -32,6 +38,10 @@ type Options struct {
 	// MDPTEntries sets the prediction-table size (default 64, the paper's
 	// evaluated configuration).
 	MDPTEntries int
+	// Jobs is the engine worker-pool size used to execute each driver's job
+	// set (0 = GOMAXPROCS).  The results are identical at every setting;
+	// only the wall-clock time changes.
+	Jobs int
 }
 
 // Quick returns options suitable for unit tests and Go benchmarks: the same
@@ -56,77 +66,62 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// simKey identifies a cached timing simulation.
-type simKey struct {
-	bench   string
-	stages  int
-	pol     policy.Kind
-	entries int
-	tagAddr bool
-	ddc     bool
+// NewEngine creates a job engine with every evaluation layer registered:
+// workload building, functional tracing, window analysis, Multiscalar
+// preprocessing and timing simulation.
+func NewEngine(workers int) *engine.Engine {
+	e := engine.New(workers)
+	e.Register(
+		workload.BuildSimulator(),
+		trace.RunSimulator(),
+		window.AnalyzeSimulator(),
+		multiscalar.PreprocessSimulator(),
+		multiscalar.SimulateSimulator(),
+	)
+	return e
 }
 
-// Runner executes experiments, caching programs, work items and simulation
-// results across drivers.
+// Runner executes experiments.  It carries no mutable state of its own --
+// programs, work items and simulation results are memoized inside the shared
+// engine -- so one Runner may be used from any number of goroutines.
 type Runner struct {
-	opts      Options
-	programs  map[string]*program.Program
-	workItems map[string]*multiscalar.WorkItem
-	simCache  map[simKey]multiscalar.Result
+	opts Options
+	eng  *engine.Engine
 }
 
-// NewRunner creates a runner for the given options.
+// NewRunner creates a runner with a fresh engine sized by opts.Jobs.
 func NewRunner(opts Options) *Runner {
-	return &Runner{
-		opts:      opts.withDefaults(),
-		programs:  map[string]*program.Program{},
-		workItems: map[string]*multiscalar.WorkItem{},
-		simCache:  map[simKey]multiscalar.Result{},
-	}
+	return NewRunnerWithEngine(opts, NewEngine(opts.Jobs))
+}
+
+// NewRunnerWithEngine creates a runner on an existing engine, sharing its job
+// cache with every other runner on that engine.
+func NewRunnerWithEngine(opts Options, eng *engine.Engine) *Runner {
+	return &Runner{opts: opts.withDefaults(), eng: eng}
 }
 
 // Options returns the effective options.
 func (r *Runner) Options() Options { return r.opts }
 
-// Program builds (and caches) the program of a benchmark at the configured
-// scale.
-func (r *Runner) Program(name string) (*program.Program, error) {
-	if p, ok := r.programs[name]; ok {
-		return p, nil
-	}
-	w, err := workload.Get(name)
-	if err != nil {
-		return nil, err
-	}
-	scale := w.DefaultScale
-	if r.opts.Scale > 0 {
-		scale = r.opts.Scale
-	}
-	p := w.Build(scale)
-	r.programs[name] = p
-	return p, nil
-}
+// Engine returns the runner's job engine.
+func (r *Runner) Engine() *engine.Engine { return r.eng }
 
 // traceConfig returns the functional-run bounds for the current options.
 func (r *Runner) traceConfig() trace.Config {
 	return trace.Config{MaxInstructions: r.opts.MaxInstructions}
 }
 
-// WorkItem preprocesses (and caches) a benchmark for timing simulation.
-func (r *Runner) WorkItem(name string) (*multiscalar.WorkItem, error) {
-	if w, ok := r.workItems[name]; ok {
-		return w, nil
-	}
-	p, err := r.Program(name)
-	if err != nil {
-		return nil, err
-	}
-	w, err := multiscalar.Preprocess(p, r.traceConfig())
-	if err != nil {
-		return nil, err
-	}
-	r.workItems[name] = w
-	return w, nil
+// --- job-spec builders -------------------------------------------------------
+
+// programSpec declares the program-build job of a benchmark at the configured
+// scale.
+func (r *Runner) programSpec(name string) engine.Spec {
+	return workload.BuildJob{Name: name, Scale: r.opts.Scale}
+}
+
+// workItemSpec declares the preprocessing job of a benchmark.
+func (r *Runner) workItemSpec(name string) engine.Spec {
+	return multiscalar.PreprocessJob{Program: r.programSpec(name), Trace: r.traceConfig()}
 }
 
 // simConfig builds the Multiscalar configuration for a policy and stage
@@ -137,46 +132,44 @@ func (r *Runner) simConfig(stages int, pol policy.Kind) multiscalar.Config {
 	return cfg
 }
 
-// Simulate runs (and caches) one benchmark under one configuration.
-func (r *Runner) Simulate(name string, stages int, pol policy.Kind) (multiscalar.Result, error) {
-	key := simKey{bench: name, stages: stages, pol: pol, entries: r.opts.MDPTEntries}
-	if res, ok := r.simCache[key]; ok {
-		return res, nil
-	}
-	w, err := r.WorkItem(name)
-	if err != nil {
-		return multiscalar.Result{}, err
-	}
-	res, err := multiscalar.Simulate(w, r.simConfig(stages, pol))
-	if err != nil {
-		return multiscalar.Result{}, fmt.Errorf("experiments: %s/%d-stage/%v: %w", name, stages, pol, err)
-	}
-	r.simCache[key] = res
-	return res, nil
+// simSpec declares the timing simulation of one benchmark under the standard
+// configuration for a policy and stage count.
+func (r *Runner) simSpec(name string, stages int, pol policy.Kind) engine.Spec {
+	return r.simSpecWith(name, r.simConfig(stages, pol))
 }
 
-// simulateWith runs a benchmark with a customised configuration (used by the
-// ablation drivers); results are cached by the distinguishing fields.
-func (r *Runner) simulateWith(name string, cfg multiscalar.Config) (multiscalar.Result, error) {
-	key := simKey{
-		bench:   name,
-		stages:  cfg.Stages,
-		pol:     cfg.Policy,
-		entries: cfg.MemDep.Entries,
-		tagAddr: cfg.MemDep.TagByAddress,
-		ddc:     len(cfg.DDCSizes) > 0,
+// simSpecWith declares a timing simulation under a customised configuration
+// (used by Table 7 and the ablation drivers).
+func (r *Runner) simSpecWith(name string, cfg multiscalar.Config) engine.Spec {
+	return multiscalar.SimulateJob{Item: r.workItemSpec(name), Config: cfg}
+}
+
+// windowSpec declares the unrealistic-OOO analysis of one benchmark.
+func (r *Runner) windowSpec(name string, windows, ddcSizes []int) engine.Spec {
+	return window.AnalyzeJob{
+		Program: r.programSpec(name),
+		Config: window.Config{
+			WindowSizes: windows,
+			DDCSizes:    ddcSizes,
+			Trace:       r.traceConfig(),
+		},
 	}
-	if res, ok := r.simCache[key]; ok {
-		return res, nil
-	}
-	w, err := r.WorkItem(name)
-	if err != nil {
-		return multiscalar.Result{}, err
-	}
-	res, err := multiscalar.Simulate(w, cfg)
-	if err != nil {
-		return multiscalar.Result{}, err
-	}
-	r.simCache[key] = res
-	return res, nil
+}
+
+// --- direct resolution (single jobs through the memoized engine) ------------
+
+// Program builds (and caches) the program of a benchmark at the configured
+// scale.
+func (r *Runner) Program(name string) (*program.Program, error) {
+	return engine.Resolve[*program.Program](r.eng, r.programSpec(name))
+}
+
+// WorkItem preprocesses (and caches) a benchmark for timing simulation.
+func (r *Runner) WorkItem(name string) (*multiscalar.WorkItem, error) {
+	return engine.Resolve[*multiscalar.WorkItem](r.eng, r.workItemSpec(name))
+}
+
+// Simulate runs (and caches) one benchmark under one configuration.
+func (r *Runner) Simulate(name string, stages int, pol policy.Kind) (multiscalar.Result, error) {
+	return engine.Resolve[multiscalar.Result](r.eng, r.simSpec(name, stages, pol))
 }

@@ -43,12 +43,17 @@ func TestRunnerCaching(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	executed := r.Engine().Executed()
 	res2, _ := r.Simulate("compress", 4, policy.Always)
 	if res1.Cycles != res2.Cycles {
 		t.Error("cached simulation must return the same result")
 	}
-	if len(r.simCache) != 1 {
-		t.Errorf("sim cache has %d entries, want 1", len(r.simCache))
+	if r.Engine().Executed() != executed {
+		t.Error("repeated simulation must be served from the engine cache")
+	}
+	// program + work item + one timing simulation.
+	if n := r.Engine().CacheLen(); n != 3 {
+		t.Errorf("engine cache has %d entries, want 3", n)
 	}
 	if _, err := r.Program("no-such-benchmark"); err == nil {
 		t.Error("unknown benchmark must error")

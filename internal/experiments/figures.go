@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"memdep/internal/engine"
+	"memdep/internal/multiscalar"
 	"memdep/internal/policy"
 	"memdep/internal/stats"
 	"memdep/internal/workload"
@@ -12,24 +14,39 @@ import (
 // and the speedups (%) of ALWAYS, WAIT and PSYNC relative to NEVER, for 4-
 // and 8-stage Multiscalar processors on the SPECint92 benchmarks.
 func (r *Runner) Figure5PolicyComparison() (*stats.Table, error) {
-	t := stats.NewTable("Figure 5: dependence speculation policies, speedup (%) over NEVER",
-		"stages", "benchmark", "NEVER IPC", "ALWAYS", "WAIT", "PSYNC")
+	compared := []policy.Kind{policy.Always, policy.Wait, policy.PerfectSync}
+
+	b := r.eng.NewBatch()
+	type cell struct {
+		stages int
+		name   string
+		never  engine.Ref
+		pols   []engine.Ref
+	}
+	var cells []cell
 	for _, stages := range r.opts.Stages {
 		for _, name := range workload.SPECint92Names() {
-			never, err := r.Simulate(name, stages, policy.Never)
-			if err != nil {
-				return nil, err
+			c := cell{stages: stages, name: name, never: b.Add(r.simSpec(name, stages, policy.Never))}
+			for _, pol := range compared {
+				c.pols = append(c.pols, b.Add(r.simSpec(name, stages, pol)))
 			}
-			row := []string{fmt.Sprint(stages), name, stats.FormatFloat(never.IPC(), 2)}
-			for _, pol := range []policy.Kind{policy.Always, policy.Wait, policy.PerfectSync} {
-				res, err := r.Simulate(name, stages, pol)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, stats.FormatSpeedup(res.SpeedupOver(never)))
-			}
-			t.AddRow(row...)
+			cells = append(cells, c)
 		}
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("Figure 5: dependence speculation policies, speedup (%) over NEVER",
+		"stages", "benchmark", "NEVER IPC", "ALWAYS", "WAIT", "PSYNC")
+	for _, c := range cells {
+		never := engine.Get[multiscalar.Result](b, c.never)
+		row := []string{fmt.Sprint(c.stages), c.name, stats.FormatFloat(never.IPC(), 2)}
+		for _, ref := range c.pols {
+			res := engine.Get[multiscalar.Result](b, ref)
+			row = append(row, stats.FormatSpeedup(res.SpeedupOver(never)))
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -39,24 +56,39 @@ func (r *Runner) Figure5PolicyComparison() (*stats.Table, error) {
 // synchronization (PSYNC) over blind speculation (ALWAYS), for 4- and 8-stage
 // configurations on the SPECint92 benchmarks.
 func (r *Runner) Figure6MechanismSpeedup() (*stats.Table, error) {
-	t := stats.NewTable("Figure 6: mechanism speedup (%) over blind speculation (ALWAYS)",
-		"stages", "benchmark", "ALWAYS IPC", "SYNC", "ESYNC", "PSYNC")
+	compared := []policy.Kind{policy.Sync, policy.ESync, policy.PerfectSync}
+
+	b := r.eng.NewBatch()
+	type cell struct {
+		stages int
+		name   string
+		always engine.Ref
+		pols   []engine.Ref
+	}
+	var cells []cell
 	for _, stages := range r.opts.Stages {
 		for _, name := range workload.SPECint92Names() {
-			always, err := r.Simulate(name, stages, policy.Always)
-			if err != nil {
-				return nil, err
+			c := cell{stages: stages, name: name, always: b.Add(r.simSpec(name, stages, policy.Always))}
+			for _, pol := range compared {
+				c.pols = append(c.pols, b.Add(r.simSpec(name, stages, pol)))
 			}
-			row := []string{fmt.Sprint(stages), name, stats.FormatFloat(always.IPC(), 2)}
-			for _, pol := range []policy.Kind{policy.Sync, policy.ESync, policy.PerfectSync} {
-				res, err := r.Simulate(name, stages, pol)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, stats.FormatSpeedup(res.SpeedupOver(always)))
-			}
-			t.AddRow(row...)
+			cells = append(cells, c)
 		}
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("Figure 6: mechanism speedup (%) over blind speculation (ALWAYS)",
+		"stages", "benchmark", "ALWAYS IPC", "SYNC", "ESYNC", "PSYNC")
+	for _, c := range cells {
+		always := engine.Get[multiscalar.Result](b, c.always)
+		row := []string{fmt.Sprint(c.stages), c.name, stats.FormatFloat(always.IPC(), 2)}
+		for _, ref := range c.pols {
+			res := engine.Get[multiscalar.Result](b, ref)
+			row = append(row, stats.FormatSpeedup(res.SpeedupOver(always)))
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -65,24 +97,34 @@ func (r *Runner) Figure6MechanismSpeedup() (*stats.Table, error) {
 // Multiscalar processor, the IPC obtained with the ESYNC mechanism and the
 // speedups of ESYNC and PSYNC over blind speculation.
 func (r *Runner) Figure7Spec95() (*stats.Table, error) {
+	const stages = 8
+
+	b := r.eng.NewBatch()
+	type cell struct {
+		name                 string
+		always, esync, psync engine.Ref
+	}
+	var cells []cell
+	for _, name := range workload.SPEC95Names() {
+		cells = append(cells, cell{
+			name:   name,
+			always: b.Add(r.simSpec(name, stages, policy.Always)),
+			esync:  b.Add(r.simSpec(name, stages, policy.ESync)),
+			psync:  b.Add(r.simSpec(name, stages, policy.PerfectSync)),
+		})
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+
 	t := stats.NewTable("Figure 7: SPEC95, 8-stage Multiscalar, speedup (%) over ALWAYS",
 		"benchmark", "suite", "ESYNC IPC", "ESYNC", "PSYNC")
-	const stages = 8
-	for _, name := range workload.SPEC95Names() {
-		always, err := r.Simulate(name, stages, policy.Always)
-		if err != nil {
-			return nil, err
-		}
-		esync, err := r.Simulate(name, stages, policy.ESync)
-		if err != nil {
-			return nil, err
-		}
-		psync, err := r.Simulate(name, stages, policy.PerfectSync)
-		if err != nil {
-			return nil, err
-		}
-		wl := workload.MustGet(name)
-		t.AddRow(name, wl.Suite.String(),
+	for _, c := range cells {
+		always := engine.Get[multiscalar.Result](b, c.always)
+		esync := engine.Get[multiscalar.Result](b, c.esync)
+		psync := engine.Get[multiscalar.Result](b, c.psync)
+		wl := workload.MustGet(c.name)
+		t.AddRow(c.name, wl.Suite.String(),
 			stats.FormatFloat(esync.IPC(), 2),
 			stats.FormatSpeedup(esync.SpeedupOver(always)),
 			stats.FormatSpeedup(psync.SpeedupOver(always)))

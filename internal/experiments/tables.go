@@ -3,9 +3,10 @@ package experiments
 import (
 	"fmt"
 
+	"memdep/internal/engine"
+	"memdep/internal/multiscalar"
 	"memdep/internal/policy"
 	"memdep/internal/stats"
-	"memdep/internal/trace"
 	"memdep/internal/window"
 	"memdep/internal/workload"
 )
@@ -13,16 +14,23 @@ import (
 // Table1DynamicCounts reproduces Table 1: committed dynamic instruction
 // counts per benchmark.
 func (r *Runner) Table1DynamicCounts() (*stats.Table, error) {
-	t := stats.NewTable("Table 1: committed dynamic instruction count per benchmark",
-		"benchmark", "suite", "instructions", "loads", "stores", "tasks", "avg task")
 	var names []string
 	names = append(names, workload.SPECint92Names()...)
 	names = append(names, workload.SPEC95Names()...)
-	for _, name := range names {
-		w, err := r.WorkItem(name)
-		if err != nil {
-			return nil, err
-		}
+
+	b := r.eng.NewBatch()
+	refs := make([]engine.Ref, len(names))
+	for i, name := range names {
+		refs[i] = b.Add(r.workItemSpec(name))
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("Table 1: committed dynamic instruction count per benchmark",
+		"benchmark", "suite", "instructions", "loads", "stores", "tasks", "avg task")
+	for i, name := range names {
+		w := engine.Get[*multiscalar.WorkItem](b, refs[i])
 		wl := workload.MustGet(name)
 		t.AddRow(name, wl.Suite.String(),
 			stats.FormatCount(w.Instructions),
@@ -35,37 +43,38 @@ func (r *Runner) Table1DynamicCounts() (*stats.Table, error) {
 	return t, nil
 }
 
-// windowResults runs the unrealistic OOO analysis for one benchmark, cached
-// implicitly by the runner's program cache (the analysis itself is cheap).
-func (r *Runner) windowResults(name string, windows, ddcSizes []int) ([]window.Result, error) {
-	p, err := r.Program(name)
-	if err != nil {
-		return nil, err
-	}
-	return window.Analyze(p, window.Config{
-		WindowSizes: windows,
-		DDCSizes:    ddcSizes,
-		Trace:       trace.Config{MaxInstructions: r.opts.MaxInstructions},
-	})
-}
-
 // windowSizes returns the window sizes of Tables 3-5.
 func windowSizes() []int { return []int{8, 16, 32, 64, 128, 256, 512} }
+
+// windowBatch runs the unrealistic OOO analysis for every SPECint92 benchmark
+// as one parallel job set and returns the per-benchmark results in
+// window-size order.
+func (r *Runner) windowBatch(ddcSizes []int) (map[string][]window.Result, error) {
+	b := r.eng.NewBatch()
+	refs := map[string]engine.Ref{}
+	for _, name := range workload.SPECint92Names() {
+		refs[name] = b.Add(r.windowSpec(name, windowSizes(), ddcSizes))
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+	perBench := make(map[string][]window.Result, len(refs))
+	for name, ref := range refs {
+		perBench[name] = engine.Get[[]window.Result](b, ref)
+	}
+	return perBench, nil
+}
 
 // Table3WindowMisspec reproduces Table 3: the number of dynamic memory
 // dependences (worst-case mis-speculations) observed as a function of the
 // window size, under the unrealistic OOO model.
 func (r *Runner) Table3WindowMisspec() (*stats.Table, error) {
+	perBench, err := r.windowBatch([]int{32})
+	if err != nil {
+		return nil, err
+	}
 	cols := append([]string{"WS"}, workload.SPECint92Names()...)
 	t := stats.NewTable("Table 3: unrealistic OOO model, dynamic memory dependences vs window size", cols...)
-	perBench := map[string][]window.Result{}
-	for _, name := range workload.SPECint92Names() {
-		res, err := r.windowResults(name, windowSizes(), []int{32})
-		if err != nil {
-			return nil, err
-		}
-		perBench[name] = res
-	}
 	for i, ws := range windowSizes() {
 		row := []string{fmt.Sprint(ws)}
 		for _, name := range workload.SPECint92Names() {
@@ -79,16 +88,12 @@ func (r *Runner) Table3WindowMisspec() (*stats.Table, error) {
 // Table4StaticCoverage reproduces Table 4: the number of static dependences
 // responsible for 99.9% of all mis-speculations, per window size.
 func (r *Runner) Table4StaticCoverage() (*stats.Table, error) {
+	perBench, err := r.windowBatch([]int{32})
+	if err != nil {
+		return nil, err
+	}
 	cols := append([]string{"WS"}, workload.SPECint92Names()...)
 	t := stats.NewTable("Table 4: static dependences covering 99.9% of mis-speculations", cols...)
-	perBench := map[string][]window.Result{}
-	for _, name := range workload.SPECint92Names() {
-		res, err := r.windowResults(name, windowSizes(), []int{32})
-		if err != nil {
-			return nil, err
-		}
-		perBench[name] = res
-	}
 	for i, ws := range windowSizes() {
 		row := []string{fmt.Sprint(ws)}
 		for _, name := range workload.SPECint92Names() {
@@ -103,17 +108,13 @@ func (r *Runner) Table4StaticCoverage() (*stats.Table, error) {
 // caches of 32, 128 and 512 entries as a function of the window size.
 func (r *Runner) Table5DDCMissRate() (*stats.Table, error) {
 	ddcSizes := window.DefaultDDCSizes()
+	perBench, err := r.windowBatch(ddcSizes)
+	if err != nil {
+		return nil, err
+	}
 	cols := []string{"WS", "CS"}
 	cols = append(cols, workload.SPECint92Names()...)
 	t := stats.NewTable("Table 5: unrealistic OOO model, DDC miss rate (%) vs window size and DDC size", cols...)
-	perBench := map[string][]window.Result{}
-	for _, name := range workload.SPECint92Names() {
-		res, err := r.windowResults(name, windowSizes(), ddcSizes)
-		if err != nil {
-			return nil, err
-		}
-		perBench[name] = res
-	}
 	for i, ws := range windowSizes() {
 		for _, cs := range ddcSizes {
 			row := []string{fmt.Sprint(ws), fmt.Sprint(cs)}
@@ -129,16 +130,29 @@ func (r *Runner) Table5DDCMissRate() (*stats.Table, error) {
 // Table6MultiscalarMisspec reproduces Table 6: the number of mis-speculations
 // observed on the Multiscalar model (blind speculation) for 4 and 8 stages.
 func (r *Runner) Table6MultiscalarMisspec() (*stats.Table, error) {
+	b := r.eng.NewBatch()
+	type rowRefs struct {
+		stages int
+		refs   []engine.Ref
+	}
+	var grid []rowRefs
+	for _, stages := range r.opts.Stages {
+		rr := rowRefs{stages: stages}
+		for _, name := range workload.SPECint92Names() {
+			rr.refs = append(rr.refs, b.Add(r.simSpec(name, stages, policy.Always)))
+		}
+		grid = append(grid, rr)
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+
 	cols := append([]string{"stages"}, workload.SPECint92Names()...)
 	t := stats.NewTable("Table 6: Multiscalar model, mis-speculations under blind speculation", cols...)
-	for _, stages := range r.opts.Stages {
-		row := []string{fmt.Sprint(stages)}
-		for _, name := range workload.SPECint92Names() {
-			res, err := r.Simulate(name, stages, policy.Always)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, stats.FormatCount(res.Misspeculations))
+	for _, rr := range grid {
+		row := []string{fmt.Sprint(rr.stages)}
+		for _, ref := range rr.refs {
+			row = append(row, stats.FormatCount(engine.Get[multiscalar.Result](b, ref).Misspeculations))
 		}
 		t.AddRow(row...)
 	}
@@ -151,22 +165,24 @@ func table7DDCSizes() []int { return []int{16, 32, 64, 128, 256, 512, 1024} }
 // Table7MultiscalarDDC reproduces Table 7: DDC miss rates on the 8-stage
 // Multiscalar configuration as a function of the DDC size.
 func (r *Runner) Table7MultiscalarDDC() (*stats.Table, error) {
-	cols := append([]string{"CS"}, workload.SPECint92Names()...)
-	t := stats.NewTable("Table 7: 8-stage Multiscalar, DDC miss rate (%) vs DDC size", cols...)
-	perBench := map[string]map[int]float64{}
+	b := r.eng.NewBatch()
+	refs := map[string]engine.Ref{}
 	for _, name := range workload.SPECint92Names() {
 		cfg := r.simConfig(8, policy.Always)
 		cfg.DDCSizes = table7DDCSizes()
-		res, err := r.simulateWith(name, cfg)
-		if err != nil {
-			return nil, err
-		}
-		perBench[name] = res.DDCMissRate
+		refs[name] = b.Add(r.simSpecWith(name, cfg))
 	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+
+	cols := append([]string{"CS"}, workload.SPECint92Names()...)
+	t := stats.NewTable("Table 7: 8-stage Multiscalar, DDC miss rate (%) vs DDC size", cols...)
 	for _, cs := range table7DDCSizes() {
 		row := []string{fmt.Sprint(cs)}
 		for _, name := range workload.SPECint92Names() {
-			row = append(row, stats.FormatPercent(perBench[name][cs]))
+			res := engine.Get[multiscalar.Result](b, refs[name])
+			row = append(row, stats.FormatPercent(res.DDCMissRate[cs]))
 		}
 		t.AddRow(row...)
 	}
@@ -176,6 +192,24 @@ func (r *Runner) Table7MultiscalarDDC() (*stats.Table, error) {
 // Table8PredictionBreakdown reproduces Table 8: the breakdown of dependence
 // predictions (predicted/actual) for the SYNC and ESYNC predictors.
 func (r *Runner) Table8PredictionBreakdown() (*stats.Table, error) {
+	b := r.eng.NewBatch()
+	type cellKey struct {
+		stages int
+		pol    policy.Kind
+		name   string
+	}
+	refs := map[cellKey]engine.Ref{}
+	for _, stages := range r.opts.Stages {
+		for _, pol := range []policy.Kind{policy.Sync, policy.ESync} {
+			for _, name := range workload.SPECint92Names() {
+				refs[cellKey{stages, pol, name}] = b.Add(r.simSpec(name, stages, pol))
+			}
+		}
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+
 	cols := append([]string{"stages", "predictor", "P/A"}, workload.SPECint92Names()...)
 	t := stats.NewTable("Table 8: dependence prediction breakdown (% of committed loads)", cols...)
 	categories := []struct {
@@ -192,10 +226,7 @@ func (r *Runner) Table8PredictionBreakdown() (*stats.Table, error) {
 			for _, cat := range categories {
 				row := []string{fmt.Sprint(stages), pol.String(), cat.label}
 				for _, name := range workload.SPECint92Names() {
-					res, err := r.Simulate(name, stages, pol)
-					if err != nil {
-						return nil, err
-					}
+					res := engine.Get[multiscalar.Result](b, refs[cellKey{stages, pol, name}])
 					row = append(row, stats.FormatPercent(res.Breakdown.Percent(cat.pred, cat.act)))
 				}
 				t.AddRow(row...)
@@ -210,16 +241,34 @@ func (r *Runner) Table8PredictionBreakdown() (*stats.Table, error) {
 // load under blind speculation and with the prediction/synchronization
 // mechanism in place.
 func (r *Runner) Table9MisspecPerLoad() (*stats.Table, error) {
+	pols := []policy.Kind{policy.Always, policy.Sync, policy.ESync}
+
+	b := r.eng.NewBatch()
+	type rowKey struct {
+		stages int
+		pol    policy.Kind
+	}
+	refs := map[rowKey][]engine.Ref{}
+	for _, stages := range r.opts.Stages {
+		for _, pol := range pols {
+			var rr []engine.Ref
+			for _, name := range workload.SPECint92Names() {
+				rr = append(rr, b.Add(r.simSpec(name, stages, pol)))
+			}
+			refs[rowKey{stages, pol}] = rr
+		}
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+
 	cols := append([]string{"stages", "policy"}, workload.SPECint92Names()...)
 	t := stats.NewTable("Table 9: mis-speculations per committed load", cols...)
 	for _, stages := range r.opts.Stages {
-		for _, pol := range []policy.Kind{policy.Always, policy.Sync, policy.ESync} {
+		for _, pol := range pols {
 			row := []string{fmt.Sprint(stages), pol.String()}
-			for _, name := range workload.SPECint92Names() {
-				res, err := r.Simulate(name, stages, pol)
-				if err != nil {
-					return nil, err
-				}
+			for _, ref := range refs[rowKey{stages, pol}] {
+				res := engine.Get[multiscalar.Result](b, ref)
 				row = append(row, stats.FormatFloat(res.MisspecsPerCommittedLoad(), 4))
 			}
 			t.AddRow(row...)

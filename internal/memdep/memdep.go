@@ -26,7 +26,10 @@
 // ablation studies.
 package memdep
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // PairKey identifies a static dependence edge by the program counters of the
 // load and the store.
@@ -38,6 +41,32 @@ type PairKey struct {
 // String implements fmt.Stringer.
 func (k PairKey) String() string {
 	return fmt.Sprintf("(st@%#x -> ld@%#x)", k.StorePC, k.LoadPC)
+}
+
+// PairCount couples a static dependence pair with an observed event count.
+type PairCount struct {
+	Pair PairKey
+	N    uint64
+}
+
+// SortedPairCounts flattens a pair→count map into a slice ordered by
+// decreasing count, with ties broken by store then load PC so the order is
+// deterministic across runs.
+func SortedPairCounts(counts map[PairKey]uint64) []PairCount {
+	out := make([]PairCount, 0, len(counts))
+	for k, v := range counts {
+		out = append(out, PairCount{Pair: k, N: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		if out[i].Pair.StorePC != out[j].Pair.StorePC {
+			return out[i].Pair.StorePC < out[j].Pair.StorePC
+		}
+		return out[i].Pair.LoadPC < out[j].Pair.LoadPC
+	})
+	return out
 }
 
 // PredictorKind selects the prediction policy attached to MDPT entries.

@@ -1,0 +1,51 @@
+package window
+
+import (
+	"fmt"
+
+	"memdep/internal/engine"
+	"memdep/internal/program"
+)
+
+// AnalyzeKind is the engine job kind for the unrealistic OOO window analysis.
+const AnalyzeKind = "window/analyze"
+
+// AnalyzeJob is the engine spec for running the window analyzer over a
+// program.  Program must resolve to a *program.Program (typically a
+// workload.BuildJob).  The job resolves to a []window.Result, one per window
+// size in increasing order.
+type AnalyzeJob struct {
+	Program engine.Spec
+	Config  Config
+}
+
+// JobKind implements engine.Spec.
+func (AnalyzeJob) JobKind() string { return AnalyzeKind }
+
+// CacheKey implements engine.Spec.
+func (j AnalyzeJob) CacheKey() string {
+	cfg := j.Config.withDefaults()
+	return fmt.Sprintf("%s|ws=%v,ddc=%v,max=%d,tasklen=%d",
+		engine.Key(j.Program), cfg.WindowSizes, cfg.DDCSizes,
+		cfg.Trace.MaxInstructions, cfg.Trace.MaxTaskLen)
+}
+
+// analyzeSimulator executes AnalyzeJob specs.
+type analyzeSimulator struct{}
+
+// AnalyzeSimulator returns the engine simulator for the window/analyze kind.
+func AnalyzeSimulator() engine.Simulator { return analyzeSimulator{} }
+
+func (analyzeSimulator) JobKind() string { return AnalyzeKind }
+
+func (analyzeSimulator) Simulate(eng *engine.Engine, spec engine.Spec) (any, error) {
+	job, ok := spec.(AnalyzeJob)
+	if !ok {
+		return nil, fmt.Errorf("window: spec %T is not an AnalyzeJob", spec)
+	}
+	p, err := engine.Resolve[*program.Program](eng, job.Program)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(p, job.Config)
+}
