@@ -155,6 +155,30 @@ func BenchmarkTimingSimulator(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulate compares the event-driven and the stepped reference
+// timing core on one simulation (xlisp, 8 stages, ESYNC).  The two produce
+// identical Results (TestCoresCycleIdentical); only time/op and allocs/op
+// differ.  BENCH_multiscalar.json tracks both (cmd/memdep-perf).
+func BenchmarkSimulate(b *testing.B) {
+	item, err := multiscalar.Preprocess(workload.MustGet("xlisp").Build(1),
+		trace.Config{MaxInstructions: 50_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, core := range []multiscalar.CoreMode{multiscalar.CoreEvent, multiscalar.CoreStepped} {
+		b.Run(core.String(), func(b *testing.B) {
+			cfg := multiscalar.DefaultConfig(8, policy.ESync)
+			cfg.Core = core
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := multiscalar.Simulate(item, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMDPTLookup measures prediction-table lookups on a warm table.
 func BenchmarkMDPTLookup(b *testing.B) {
 	t := memdep.NewMDPT(memdep.Config{Entries: 64, SyncSlots: 8})

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"memdep/internal/experiments"
+	"memdep/internal/multiscalar"
 	"memdep/internal/stats"
 )
 
@@ -34,8 +35,15 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jobs       = flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 		md         = flag.String("md", "", "write the results as markdown to this file (e.g. EXPERIMENTS.md)")
+		core       = flag.String("core", "event", "timing-simulator run loop: \"event\" or the \"stepped\" reference (identical output)")
 	)
 	flag.Parse()
+
+	coreMode, err := multiscalar.ParseCoreMode(*core)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -56,6 +64,7 @@ func main() {
 	}
 	opts.MDPTEntries = *entries
 	opts.Jobs = *jobs
+	opts.Core = coreMode
 	runner := experiments.NewRunner(opts)
 
 	var selected []experiments.NamedExperiment

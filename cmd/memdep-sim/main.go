@@ -41,8 +41,14 @@ func main() {
 		entries  = flag.Int("mdpt-entries", 64, "MDPT entries")
 		topPairs = flag.Int("top-pairs", 5, "print the N most frequently mis-speculated static pairs")
 		jobs     = flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		core     = flag.String("core", "event", "timing-simulator run loop: \"event\" or the \"stepped\" reference (identical output)")
 	)
 	flag.Parse()
+
+	coreMode, err := multiscalar.ParseCoreMode(*core)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		for _, name := range workload.Names() {
@@ -92,6 +98,7 @@ func main() {
 		for _, pol := range pols {
 			cfg := multiscalar.DefaultConfig(st, pol)
 			cfg.MemDep.Entries = *entries
+			cfg.Core = coreMode
 			runs = append(runs, run{st, pol, b.Add(multiscalar.SimulateJob{Item: itemSpec, Config: cfg})})
 		}
 	}
@@ -160,6 +167,8 @@ func printResult(bench string, scale, stages int, pol policy.Kind, entries int,
 	}
 	fmt.Printf("memory           %d data accesses (%d misses), %d instruction misses, %d bus transfers\n",
 		res.Cache.DataAccesses, res.Cache.DataMisses, res.Cache.InstrMisses, res.Cache.BusTransfers)
+	fmt.Printf("ARB              %d loads, %d stores, %d violations, %d bypasses (bank overflow)\n",
+		res.ARB.Loads, res.ARB.Stores, res.ARB.Violations, res.ARBBypasses)
 	fmt.Printf("sequencer        %d dispatches, %d mispredictions (%.1f%% accuracy)\n",
 		res.Sequencer.TaskDispatches, res.Sequencer.Mispredictions, res.Sequencer.PredictorAcc*100)
 

@@ -16,9 +16,14 @@
 // configuration of section 5.2.  When a bank is full, new addresses cannot be
 // tracked and the requesting memory operation must stall until space frees up
 // (entries are reclaimed when tasks commit or are squashed).
+//
+// Because only the processor's in-flight window (a handful of tasks) can
+// touch an entry at a time, per-address bookkeeping is a small linear-scanned
+// slice rather than a map, entries are pooled across allocate/reclaim
+// cycles, and a per-task index of touched addresses makes commit/squash
+// reclamation proportional to the task's footprint -- the ARB sits on the
+// timing simulator's per-memory-operation hot path.
 package arb
-
-import "sort"
 
 // Violation describes a detected memory dependence mis-speculation.
 type Violation struct {
@@ -33,17 +38,29 @@ type Violation struct {
 	LoadPC uint64
 }
 
-// taskAccess records how one task has touched one address.
-type taskAccess struct {
+// taskRecord records how one task has touched one address.  At least one of
+// exposedLoad/stored is set on every stored record.
+type taskRecord struct {
+	id          uint64 // task identifier
 	exposedLoad bool   // the task loaded the address before storing to it
-	loadPC      uint64 // PC of the first exposed load
 	stored      bool   // the task has stored to the address
+	loadPC      uint64 // PC of the first exposed load
 }
 
-// entry tracks one data address.
+// entry tracks one data address: the (unordered) access summaries of the
+// in-flight tasks that touched it.
 type entry struct {
-	addr  uint64
-	tasks map[uint64]*taskAccess // taskID -> access summary
+	tasks []taskRecord
+}
+
+// find returns the task's record, or nil.
+func (e *entry) find(taskID uint64) *taskRecord {
+	for i := range e.tasks {
+		if e.tasks[i].id == taskID {
+			return &e.tasks[i]
+		}
+	}
+	return nil
 }
 
 // Config describes the ARB geometry.
@@ -79,10 +96,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// ARB is the address resolution buffer.
+// ARB is the address resolution buffer.  touched indexes the tracked
+// addresses by task, so reclaiming a committed or squashed task costs
+// O(addresses that task touched) instead of a walk over every entry;
+// entryFree and touchedFree recycle the backing storage.
 type ARB struct {
-	cfg   Config
-	banks []map[uint64]*entry
+	cfg     Config
+	banks   []map[uint64]*entry
+	touched map[uint64][]uint64 // taskID -> tracked addrs
+
+	entryFree   []*entry
+	touchedFree [][]uint64
 
 	loads      uint64
 	stores     uint64
@@ -93,7 +117,7 @@ type ARB struct {
 // New creates an ARB with the given configuration.
 func New(cfg Config) *ARB {
 	cfg = cfg.withDefaults()
-	a := &ARB{cfg: cfg}
+	a := &ARB{cfg: cfg, touched: make(map[uint64][]uint64)}
 	a.banks = make([]map[uint64]*entry, cfg.Banks)
 	for i := range a.banks {
 		a.banks[i] = make(map[uint64]*entry, cfg.EntriesPerBank)
@@ -121,9 +145,34 @@ func (a *ARB) lookup(addr uint64, alloc bool) *entry {
 	if len(b) >= a.cfg.EntriesPerBank {
 		return nil
 	}
-	e := &entry{addr: addr, tasks: make(map[uint64]*taskAccess, 4)}
+	var e *entry
+	if n := len(a.entryFree); n > 0 {
+		e = a.entryFree[n-1]
+		a.entryFree = a.entryFree[:n-1]
+		e.tasks = e.tasks[:0]
+	} else {
+		e = &entry{}
+	}
 	b[addr] = e
 	return e
+}
+
+// access returns the task's record for the entry, creating it (and
+// registering the address in the task's touched index) on first contact.
+func (a *ARB) access(e *entry, addr, taskID uint64) *taskRecord {
+	if ta := e.find(taskID); ta != nil {
+		return ta
+	}
+	ts, ok := a.touched[taskID]
+	if !ok {
+		if n := len(a.touchedFree); n > 0 {
+			ts = a.touchedFree[n-1][:0]
+			a.touchedFree = a.touchedFree[:n-1]
+		}
+	}
+	a.touched[taskID] = append(ts, addr)
+	e.tasks = append(e.tasks, taskRecord{id: taskID})
+	return &e.tasks[len(e.tasks)-1]
 }
 
 // Load records a load of addr by taskID.  ok is false when the ARB bank is
@@ -135,11 +184,7 @@ func (a *ARB) Load(addr uint64, taskID uint64, loadPC uint64) (ok bool) {
 		return false
 	}
 	a.loads++
-	ta := e.tasks[taskID]
-	if ta == nil {
-		ta = &taskAccess{}
-		e.tasks[taskID] = ta
-	}
+	ta := a.access(e, addr, taskID)
 	if !ta.stored && !ta.exposedLoad {
 		ta.exposedLoad = true
 		ta.loadPC = loadPC
@@ -151,8 +196,11 @@ func (a *ARB) Load(addr uint64, taskID uint64, loadPC uint64) (ok bool) {
 // exposes: the youngest-preceding rule of the ARB scans younger tasks in
 // ascending order and reports the first task with an exposed load of addr,
 // unless an intervening younger task has already stored to addr (in which
-// case later tasks read that closer version and are safe).  ok is false when
-// the ARB bank is full and the store must stall.
+// case later tasks read that closer version and are safe).  Because every
+// tracked access has loaded or stored, only the closest younger task can
+// decide the outcome, so the scan is a single min-reduction over the entry
+// (order-independent, hence deterministic).  ok is false when the ARB bank
+// is full and the store must stall.
 func (a *ARB) Store(addr uint64, taskID uint64) (v *Violation, ok bool) {
 	e := a.lookup(addr, true)
 	if e == nil {
@@ -160,33 +208,22 @@ func (a *ARB) Store(addr uint64, taskID uint64) (v *Violation, ok bool) {
 		return nil, false
 	}
 	a.stores++
-	ta := e.tasks[taskID]
-	if ta == nil {
-		ta = &taskAccess{}
-		e.tasks[taskID] = ta
-	}
+	ta := a.access(e, addr, taskID)
 	ta.stored = true
 
-	// Scan younger tasks in ascending order.
-	younger := make([]uint64, 0, len(e.tasks))
-	for id := range e.tasks {
-		if id > taskID {
-			younger = append(younger, id)
+	var closest *taskRecord
+	for i := range e.tasks {
+		r := &e.tasks[i]
+		if r.id > taskID && (closest == nil || r.id < closest.id) {
+			closest = r
 		}
 	}
-	sort.Slice(younger, func(i, j int) bool { return younger[i] < younger[j] })
-	for _, id := range younger {
-		acc := e.tasks[id]
-		if acc.exposedLoad {
-			a.violations++
-			return &Violation{Addr: addr, StoreTask: taskID, LoadTask: id, LoadPC: acc.loadPC}, true
-		}
-		if acc.stored {
-			// The younger task produced its own version; tasks beyond it are
-			// insulated from this store.
-			break
-		}
+	if closest != nil && closest.exposedLoad {
+		a.violations++
+		return &Violation{Addr: addr, StoreTask: taskID, LoadTask: closest.id, LoadPC: closest.loadPC}, true
 	}
+	// Either no younger task touched the address, or the closest one
+	// produced its own version first and insulates the tasks beyond it.
 	return nil, true
 }
 
@@ -204,16 +241,31 @@ func (a *ARB) SquashTask(taskID uint64) {
 }
 
 func (a *ARB) dropTask(taskID uint64) {
-	for _, bank := range a.banks {
-		for addr, e := range bank {
-			if _, ok := e.tasks[taskID]; ok {
-				delete(e.tasks, taskID)
-				if len(e.tasks) == 0 {
-					delete(bank, addr)
-				}
+	addrs, ok := a.touched[taskID]
+	if !ok {
+		return
+	}
+	for _, addr := range addrs {
+		bank := a.banks[a.bankOf(addr)]
+		e, ok := bank[addr]
+		if !ok {
+			continue
+		}
+		for i := range e.tasks {
+			if e.tasks[i].id == taskID {
+				last := len(e.tasks) - 1
+				e.tasks[i] = e.tasks[last]
+				e.tasks = e.tasks[:last]
+				break
 			}
 		}
+		if len(e.tasks) == 0 {
+			delete(bank, addr)
+			a.entryFree = append(a.entryFree, e)
+		}
 	}
+	a.touchedFree = append(a.touchedFree, addrs[:0])
+	delete(a.touched, taskID)
 }
 
 // Entries returns the total number of addresses currently tracked.
@@ -243,5 +295,7 @@ func (a *ARB) Reset() {
 	for i := range a.banks {
 		a.banks[i] = make(map[uint64]*entry, a.cfg.EntriesPerBank)
 	}
+	a.touched = make(map[uint64][]uint64)
+	a.entryFree, a.touchedFree = nil, nil
 	a.loads, a.stores, a.violations, a.stallsFull = 0, 0, 0, 0
 }

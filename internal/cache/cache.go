@@ -18,7 +18,10 @@ type SetAssoc struct {
 	ways      int
 	blockBits uint
 	clock     uint64
-	tags      [][]tagEntry
+	// tags is one flat backing array of sets*ways entries (row-major by
+	// set), allocated in a single shot so constructing a hierarchy costs a
+	// handful of allocations rather than one per set.
+	tags []tagEntry
 
 	hits   uint64
 	misses uint64
@@ -49,10 +52,7 @@ func NewSetAssoc(sizeBytes, ways, blockSize int) (*SetAssoc, error) {
 		blockBits++
 	}
 	c := &SetAssoc{sets: sets, ways: ways, blockBits: blockBits}
-	c.tags = make([][]tagEntry, sets)
-	for i := range c.tags {
-		c.tags[i] = make([]tagEntry, ways)
-	}
+	c.tags = make([]tagEntry, sets*ways)
 	return c, nil
 }
 
@@ -85,7 +85,7 @@ func (c *SetAssoc) index(addr uint64) (set int, tag uint64) {
 func (c *SetAssoc) Access(addr uint64) bool {
 	c.clock++
 	set, tag := c.index(addr)
-	ways := c.tags[set]
+	ways := c.tags[set*c.ways : (set+1)*c.ways]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			ways[i].lastUse = c.clock
@@ -112,7 +112,7 @@ func (c *SetAssoc) Access(addr uint64) bool {
 // modifying any state.
 func (c *SetAssoc) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
-	for _, w := range c.tags[set] {
+	for _, w := range c.tags[set*c.ways : (set+1)*c.ways] {
 		if w.valid && w.tag == tag {
 			return true
 		}
@@ -138,9 +138,7 @@ func (c *SetAssoc) MissRate() float64 {
 // Reset clears contents and statistics.
 func (c *SetAssoc) Reset() {
 	for i := range c.tags {
-		for j := range c.tags[i] {
-			c.tags[i][j] = tagEntry{}
-		}
+		c.tags[i] = tagEntry{}
 	}
 	c.clock, c.hits, c.misses = 0, 0, 0
 }

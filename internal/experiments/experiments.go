@@ -38,6 +38,10 @@ type Options struct {
 	// MDPTEntries sets the prediction-table size (default 64, the paper's
 	// evaluated configuration).
 	MDPTEntries int
+	// Core selects the timing-simulator run loop (default: the event-driven
+	// core).  The stepped reference core produces byte-identical tables and
+	// exists for equivalence testing.
+	Core multiscalar.CoreMode
 	// Jobs is the engine worker-pool size used to execute each driver's job
 	// set (0 = GOMAXPROCS).  The results are identical at every setting;
 	// only the wall-clock time changes.
@@ -129,6 +133,7 @@ func (r *Runner) workItemSpec(name string) engine.Spec {
 func (r *Runner) simConfig(stages int, pol policy.Kind) multiscalar.Config {
 	cfg := multiscalar.DefaultConfig(stages, pol)
 	cfg.MemDep.Entries = r.opts.MDPTEntries
+	cfg.Core = r.opts.Core
 	return cfg
 }
 

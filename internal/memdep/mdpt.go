@@ -23,6 +23,12 @@ type MDPT struct {
 	entries []mdptEntry
 	clock   uint64
 
+	// loadScratch and storeScratch back the slices returned by
+	// MatchesForLoad and MatchesForStore, reused across calls to keep the
+	// simulator's per-load/per-store lookups allocation-free.
+	loadScratch  []Prediction
+	storeScratch []Prediction
+
 	allocations  uint64
 	replacements uint64
 	strengthens  uint64
@@ -111,9 +117,11 @@ func (t *MDPT) predicts(e *mdptEntry) bool {
 }
 
 // MatchesForLoad returns the predictions of all valid entries whose load PC
-// matches (a load may have multiple static dependences, section 4.4.4).
+// matches (a load may have multiple static dependences, section 4.4.4).  The
+// returned slice is only valid until the next MatchesForLoad call; copy it to
+// retain it.
 func (t *MDPT) MatchesForLoad(loadPC uint64) []Prediction {
-	var out []Prediction
+	out := t.loadScratch[:0]
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.loadPC == loadPC {
@@ -121,13 +129,15 @@ func (t *MDPT) MatchesForLoad(loadPC uint64) []Prediction {
 			out = append(out, t.prediction(e))
 		}
 	}
+	t.loadScratch = out
 	return out
 }
 
 // MatchesForStore returns the predictions of all valid entries whose store PC
-// matches.
+// matches.  The returned slice is only valid until the next MatchesForStore
+// call; copy it to retain it.
 func (t *MDPT) MatchesForStore(storePC uint64) []Prediction {
-	var out []Prediction
+	out := t.storeScratch[:0]
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.storePC == storePC {
@@ -135,6 +145,7 @@ func (t *MDPT) MatchesForStore(storePC uint64) []Prediction {
 			out = append(out, t.prediction(e))
 		}
 	}
+	t.storeScratch = out
 	return out
 }
 

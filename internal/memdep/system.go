@@ -22,6 +22,17 @@ type System struct {
 	mdpt *MDPT
 	mdst *MDST
 
+	// onRelease, when set, is invoked synchronously from StoreIssue for
+	// every load whose last awaited condition variable that store's signal
+	// fills.  See SetReleaseHook.
+	onRelease func(ldid int64)
+
+	// Scratch backings for the slices returned in Load/StoreDecision,
+	// reused across calls so the per-operation hot path does not allocate.
+	waitScratch   []PairKey
+	readyScratch  []PairKey
+	signalScratch []PairKey
+
 	stats SystemStats
 }
 
@@ -77,6 +88,14 @@ func (s *System) MDST() *MDST { return s.mdst }
 // Stats returns a snapshot of the system counters.
 func (s *System) Stats() SystemStats { return s.stats }
 
+// SetReleaseHook registers a callback that StoreIssue invokes for every load
+// it releases (the event-driven alternative to polling StoreDecision's
+// ReleasedLoads).  While a hook is registered, StoreIssue delivers releases
+// exclusively through it and leaves ReleasedLoads nil, which also keeps the
+// hot path allocation-free.  The callback runs synchronously on the caller's
+// goroutine; a nil fn removes the hook.
+func (s *System) SetReleaseHook(fn func(ldid int64)) { s.onRelease = fn }
+
 // LoadQuery carries the dynamic context of a load that is about to access
 // the memory hierarchy.
 type LoadQuery struct {
@@ -99,7 +118,9 @@ type LoadQuery struct {
 	TaskPCAt func(instance uint64) (uint64, bool)
 }
 
-// LoadDecision is the outcome of LoadIssue.
+// LoadDecision is the outcome of LoadIssue.  The pair slices share reusable
+// backing arrays owned by the System: they are valid until the next LoadIssue
+// call and must be copied to be retained.
 type LoadDecision struct {
 	// Predicted reports whether at least one dependence was predicted (after
 	// any ESYNC filtering).
@@ -128,6 +149,8 @@ func (s *System) loadInstanceTag(q LoadQuery) uint64 {
 // allocates a waiting entry in the MDST.
 func (s *System) LoadIssue(q LoadQuery) LoadDecision {
 	s.stats.LoadQueries++
+	s.waitScratch = s.waitScratch[:0]
+	s.readyScratch = s.readyScratch[:0]
 	var d LoadDecision
 	for _, pred := range s.mdpt.MatchesForLoad(q.PC) {
 		if !pred.Sync {
@@ -147,10 +170,16 @@ func (s *System) LoadIssue(q LoadQuery) LoadDecision {
 		tag := s.loadInstanceTag(q)
 		if s.mdst.AllocWaiting(pred.Pair, tag, q.LDID) {
 			d.Wait = true
-			d.WaitPairs = append(d.WaitPairs, pred.Pair)
+			s.waitScratch = append(s.waitScratch, pred.Pair)
 		} else {
-			d.ReadyPairs = append(d.ReadyPairs, pred.Pair)
+			s.readyScratch = append(s.readyScratch, pred.Pair)
 		}
+	}
+	if len(s.waitScratch) > 0 {
+		d.WaitPairs = s.waitScratch
+	}
+	if len(s.readyScratch) > 0 {
+		d.ReadyPairs = s.readyScratch
 	}
 	if d.Predicted {
 		s.stats.LoadsPredictedDependent++
@@ -180,7 +209,9 @@ type StoreQuery struct {
 	Addr uint64
 }
 
-// StoreDecision is the outcome of StoreIssue.
+// StoreDecision is the outcome of StoreIssue.  SignalledPairs shares a
+// reusable backing array owned by the System: it is valid until the next
+// StoreIssue call and must be copied to be retained.
 type StoreDecision struct {
 	// Matched reports whether the store matched at least one prediction entry
 	// that warrants synchronization.
@@ -198,6 +229,7 @@ type StoreDecision struct {
 // in the MDST.
 func (s *System) StoreIssue(q StoreQuery) StoreDecision {
 	s.stats.StoreQueries++
+	s.signalScratch = s.signalScratch[:0]
 	var d StoreDecision
 	for _, pred := range s.mdpt.MatchesForStore(q.PC) {
 		if !pred.Sync {
@@ -211,16 +243,23 @@ func (s *System) StoreIssue(q StoreQuery) StoreDecision {
 			tag = q.Instance + pred.Dist
 		}
 		ldid, released := s.mdst.Signal(pred.Pair, tag, q.STID)
-		d.SignalledPairs = append(d.SignalledPairs, pred.Pair)
+		s.signalScratch = append(s.signalScratch, pred.Pair)
 		if released {
 			// A load released by one signal may still be waiting for other
 			// predicted dependences (section 4.4.4); report it only when no
 			// empty entries remain.
 			if !s.mdst.HasWaiter(ldid) {
-				d.ReleasedLoads = append(d.ReleasedLoads, ldid)
 				s.stats.LoadsReleasedByStore++
+				if s.onRelease != nil {
+					s.onRelease(ldid)
+				} else {
+					d.ReleasedLoads = append(d.ReleasedLoads, ldid)
+				}
 			}
 		}
+	}
+	if len(s.signalScratch) > 0 {
+		d.SignalledPairs = s.signalScratch
 	}
 	if d.Matched {
 		s.stats.StoresSignalled++

@@ -43,6 +43,48 @@ func TestSystemLearnsAfterMisspeculation(t *testing.T) {
 	}
 }
 
+func TestSystemReleaseHook(t *testing.T) {
+	s := newTestSystem(PredictSync)
+	pair := PairKey{LoadPC: 0x100, StorePC: 0x80}
+	s.RecordMisspeculation(pair, 1, 0x1000)
+
+	var released []int64
+	s.SetReleaseHook(func(ldid int64) { released = append(released, ldid) })
+
+	d := s.LoadIssue(LoadQuery{PC: 0x100, Instance: 7, LDID: 11})
+	if !d.Wait {
+		t.Fatalf("load must wait: %+v", d)
+	}
+	if len(released) != 0 {
+		t.Fatalf("hook fired before any store: %v", released)
+	}
+	sd := s.StoreIssue(StoreQuery{PC: 0x80, Instance: 6, STID: 21, TaskPC: 0x1000})
+	if !sd.Matched {
+		t.Fatal("store must match the prediction entry")
+	}
+	if len(released) != 1 || released[0] != 11 {
+		t.Errorf("hook releases = %v, want [11]", released)
+	}
+	// With a hook registered, releases are delivered exclusively through it.
+	if sd.ReleasedLoads != nil {
+		t.Errorf("ReleasedLoads = %v, want nil while a hook is registered", sd.ReleasedLoads)
+	}
+	if s.Stats().LoadsReleasedByStore != 1 {
+		t.Errorf("LoadsReleasedByStore = %d, want 1", s.Stats().LoadsReleasedByStore)
+	}
+
+	// Removing the hook restores the polled interface.
+	s.SetReleaseHook(nil)
+	s.LoadIssue(LoadQuery{PC: 0x100, Instance: 9, LDID: 13})
+	sd = s.StoreIssue(StoreQuery{PC: 0x80, Instance: 8, STID: 23, TaskPC: 0x1000})
+	if len(sd.ReleasedLoads) != 1 || sd.ReleasedLoads[0] != 13 {
+		t.Errorf("released loads = %v, want [13] after hook removal", sd.ReleasedLoads)
+	}
+	if len(released) != 1 {
+		t.Errorf("hook fired after removal: %v", released)
+	}
+}
+
 func TestSystemStoreFirstLoadDoesNotWait(t *testing.T) {
 	s := newTestSystem(PredictSync)
 	pair := PairKey{LoadPC: 0x100, StorePC: 0x80}

@@ -11,11 +11,58 @@ import (
 	"memdep/internal/policy"
 )
 
+// CoreMode selects the run-loop implementation of the timing simulator.
+// Both cores produce identical results for every configuration; the
+// event-driven core is simply faster because it never simulates cycles in
+// which no task can make progress.
+type CoreMode int
+
+const (
+	// CoreEvent (the default) advances the clock directly to the earliest
+	// pending event: a task's restart cycle, a fetch or operand becoming
+	// ready, a functional unit freeing up, or the head task's completion.
+	CoreEvent CoreMode = iota
+	// CoreStepped is the reference core: the clock advances one cycle at a
+	// time and every in-flight task is polled each cycle.  It exists so
+	// tests can assert that the event-driven core is cycle-for-cycle
+	// identical to the straightforward implementation.
+	CoreStepped
+)
+
+// String returns the flag spelling of the mode.
+func (m CoreMode) String() string {
+	switch m {
+	case CoreEvent:
+		return "event"
+	case CoreStepped:
+		return "stepped"
+	default:
+		return fmt.Sprintf("CoreMode(%d)", int(m))
+	}
+}
+
+// Valid reports whether the mode is one of the defined cores.
+func (m CoreMode) Valid() bool { return m == CoreEvent || m == CoreStepped }
+
+// ParseCoreMode parses the -core flag values "event" and "stepped".
+func ParseCoreMode(s string) (CoreMode, error) {
+	switch s {
+	case "event":
+		return CoreEvent, nil
+	case "stepped":
+		return CoreStepped, nil
+	default:
+		return 0, fmt.Errorf("multiscalar: unknown core mode %q (want \"event\" or \"stepped\")", s)
+	}
+}
+
 // Config describes one Multiscalar processor configuration and speculation
 // policy.  Zero values take the defaults of section 5.2 of the paper.
 type Config struct {
 	// Stages is the number of processing units (4 or 8 in the paper).
 	Stages int
+	// Core selects the run-loop implementation (default: event-driven).
+	Core CoreMode
 	// Policy selects the data dependence speculation policy.
 	Policy policy.Kind
 	// MemDep configures the MDPT/MDST system for the SYNC and ESYNC
@@ -119,6 +166,9 @@ func (c Config) Validate() error {
 	if !d.Policy.Valid() {
 		return fmt.Errorf("multiscalar: invalid policy %d", int(d.Policy))
 	}
+	if !d.Core.Valid() {
+		return fmt.Errorf("multiscalar: invalid core mode %d", int(d.Core))
+	}
 	if d.Stages > 64 {
 		return fmt.Errorf("multiscalar: %d stages is unreasonably large", d.Stages)
 	}
@@ -181,6 +231,11 @@ type Result struct {
 	// FalseDependenceReleases counts loads that waited for a synchronization
 	// that never came and were released when all prior stores resolved.
 	FalseDependenceReleases uint64
+	// ARBBypasses counts memory operations that could not be tracked because
+	// their ARB bank was full and proceeded unmonitored (a potential source
+	// of undetected mis-speculation; the paper's configuration makes this
+	// rare, but the counter keeps it observable).
+	ARBBypasses uint64
 
 	// Breakdown classifies committed loads for Table 8.
 	Breakdown PredictionBreakdown

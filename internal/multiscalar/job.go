@@ -68,7 +68,10 @@ func (SimulateJob) JobKind() string { return SimulateKind }
 // CacheKey implements engine.Spec.  The configuration is normalized first so
 // that two configurations differing only in unset-defaulted fields share one
 // cache entry; every distinguishing field (policy, stages, MDPT geometry,
-// tagging scheme, DDC sizes, latencies, ...) participates in the key.
+// tagging scheme, DDC sizes, latencies, core mode, ...) participates in the
+// key.  Keying the core mode keeps event-driven and stepped runs distinct,
+// which is what lets the equivalence tests compare the two through one
+// engine without cache aliasing.
 func (j SimulateJob) CacheKey() string {
 	return fmt.Sprintf("%s|%+v", engine.Key(j.Item), j.Config.withDefaults())
 }

@@ -1,8 +1,11 @@
 package multiscalar
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
+	"memdep/internal/arb"
 	"memdep/internal/isa"
 	"memdep/internal/policy"
 	"memdep/internal/program"
@@ -225,13 +228,127 @@ func TestCommittedWorkIdenticalAcrossPolicies(t *testing.T) {
 	}
 }
 
-func TestSimulationDeterministic(t *testing.T) {
+// TestSimulationRunToRunDeterministic is the regression test for the
+// map-iteration-order bug: commitTask/squashTask used to walk a
+// map[int]*loadRecord while updating the MDPT/MDST, so predictor state --
+// and therefore every downstream statistic -- could vary run to run.  The
+// full Result (including the MemDep counters) must now be identical across
+// in-process reruns, for every policy and both cores.
+func TestSimulationRunToRunDeterministic(t *testing.T) {
 	w := prep(t, buildRecurrence(40), 0)
-	a := simulate(t, w, 4, policy.Sync)
-	b := simulate(t, w, 4, policy.Sync)
-	if a.Cycles != b.Cycles || a.Misspeculations != b.Misspeculations ||
-		a.LoadsWaited != b.LoadsWaited {
-		t.Errorf("simulation is not deterministic: %+v vs %+v", a, b)
+	for _, core := range []CoreMode{CoreEvent, CoreStepped} {
+		for _, pol := range policy.All() {
+			cfg := DefaultConfig(4, pol)
+			cfg.Core = core
+			a, err := Simulate(w, cfg)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", core, pol, err)
+			}
+			b, err := Simulate(w, cfg)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", core, pol, err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%v/%v: results differ between identical runs:\n%+v\nvs\n%+v", core, pol, a, b)
+			}
+		}
+	}
+}
+
+// TestCoresCycleIdentical asserts the central guarantee of the event-driven
+// rewrite: skipping cycles in which no task can make progress changes
+// nothing.  The full Result -- cycles, squashes, wait accounting, predictor
+// breakdown, cache/ARB/sequencer/MDPT counters -- must be identical between
+// the event-driven and the stepped reference core.
+func TestCoresCycleIdentical(t *testing.T) {
+	items := map[string]*WorkItem{
+		"recurrence": prep(t, buildRecurrence(60), 0),
+		"compress":   prep(t, workload.MustGet("compress").Build(1), 20_000),
+		"xlisp":      prep(t, workload.MustGet("xlisp").Build(1), 20_000),
+	}
+	for name, w := range items {
+		for _, stages := range []int{4, 8} {
+			for _, pol := range policy.All() {
+				event := DefaultConfig(stages, pol)
+				event.Core = CoreEvent
+				stepped := DefaultConfig(stages, pol)
+				stepped.Core = CoreStepped
+				re, err := Simulate(w, event)
+				if err != nil {
+					t.Fatalf("%s/%d/%v event: %v", name, stages, pol, err)
+				}
+				rs, err := Simulate(w, stepped)
+				if err != nil {
+					t.Fatalf("%s/%d/%v stepped: %v", name, stages, pol, err)
+				}
+				if !reflect.DeepEqual(re, rs) {
+					t.Errorf("%s/%d stages/%v: event and stepped cores disagree:\nevent:   %+v\nstepped: %+v",
+						name, stages, pol, re, rs)
+				}
+			}
+		}
+	}
+}
+
+// goldenFingerprint compresses the deterministic scalar core of a Result
+// into one comparable line.
+func goldenFingerprint(r Result) string {
+	return fmt.Sprintf("cycles=%d tasks=%d misspec=%d squashes=%d squashedInstr=%d waited=%d waitCycles=%d falseRel=%d breakdown=%v arbBypass=%d",
+		r.Cycles, r.Tasks, r.Misspeculations, r.Squashes, r.SquashedInstructions,
+		r.LoadsWaited, r.WaitCycles, r.FalseDependenceReleases, r.Breakdown, r.ARBBypasses)
+}
+
+// TestGoldenResults pins the simulator's observable behaviour on one small
+// benchmark under every policy.  The values come from the stepped reference
+// core after the deterministic-update-order fix (the event-driven core
+// produces the same ones, and the regenerated EXPERIMENTS.md matches the
+// seed's byte for byte) and must survive any future optimization unchanged;
+// an intentional semantic change must update them in the same commit.
+func TestGoldenResults(t *testing.T) {
+	golden := map[policy.Kind]string{
+		policy.Never:       "cycles=5139 tasks=32 misspec=0 squashes=0 squashedInstr=0 waited=30 waitCycles=14493 falseRel=0 breakdown=[[301 30] [0 0]] arbBypass=0",
+		policy.Always:      "cycles=5165 tasks=32 misspec=30 squashes=87 squashedInstr=6631 waited=0 waitCycles=0 falseRel=0 breakdown=[[331 0] [0 0]] arbBypass=0",
+		policy.Wait:        "cycles=5139 tasks=32 misspec=0 squashes=0 squashedInstr=0 waited=30 waitCycles=14493 falseRel=0 breakdown=[[301 30] [0 0]] arbBypass=0",
+		policy.PerfectSync: "cycles=5139 tasks=32 misspec=0 squashes=0 squashedInstr=0 waited=30 waitCycles=14493 falseRel=0 breakdown=[[301 30] [0 0]] arbBypass=0",
+		policy.Sync:        "cycles=4954 tasks=32 misspec=4 squashes=6 squashedInstr=233 waited=28 waitCycles=12773 falseRel=0 breakdown=[[301 0] [2 28]] arbBypass=0",
+		policy.ESync:       "cycles=4954 tasks=32 misspec=4 squashes=6 squashedInstr=233 waited=28 waitCycles=12773 falseRel=0 breakdown=[[301 0] [2 28]] arbBypass=0",
+	}
+	w := prep(t, buildRecurrence(30), 0)
+	for _, pol := range policy.All() {
+		res := simulate(t, w, 4, pol)
+		got := goldenFingerprint(res)
+		want, ok := golden[pol]
+		if !ok {
+			t.Errorf("no golden entry for %v; current fingerprint:\n%q", pol, got)
+			continue
+		}
+		if got != want {
+			t.Errorf("%v fingerprint drifted:\ngot  %s\nwant %s", pol, got, want)
+		}
+	}
+}
+
+// TestARBBypassesSurfaced forces ARB bank overflow with a one-entry buffer
+// and checks the previously dropped counter reaches the Result.
+func TestARBBypassesSurfaced(t *testing.T) {
+	w := prep(t, buildRecurrence(20), 0)
+	cfg := DefaultConfig(4, policy.Always)
+	cfg.ARB = arb.Config{Banks: 1, EntriesPerBank: 1, BlockSize: 64}
+	res, err := Simulate(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ARBBypasses == 0 {
+		t.Error("a one-entry ARB on a multi-address workload must overflow, ARBBypasses = 0")
+	}
+	if res.ARBBypasses != res.ARB.StallsFull {
+		t.Errorf("ARBBypasses = %d, want ARB.StallsFull = %d (every overflow is a bypass)",
+			res.ARBBypasses, res.ARB.StallsFull)
+	}
+	// The paper-sized ARB must not overflow on the same workload.
+	big := simulate(t, w, 4, policy.Always)
+	if big.ARBBypasses != 0 {
+		t.Errorf("default ARB overflowed %d times on a small workload", big.ARBBypasses)
 	}
 }
 

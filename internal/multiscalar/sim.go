@@ -2,6 +2,7 @@ package multiscalar
 
 import (
 	"fmt"
+	"math"
 
 	"memdep/internal/arb"
 	"memdep/internal/cache"
@@ -33,6 +34,7 @@ const (
 )
 
 type waitState struct {
+	active   bool
 	kind     waitKind
 	since    int64
 	ldid     int64
@@ -40,16 +42,20 @@ type waitState struct {
 	signaled bool
 }
 
-// loadRecord captures, for one committed load, what was predicted and what
-// was actually the case -- the raw material of Table 8 and of the
-// non-speculative predictor updates.
+// loadRecord captures, for one load, what was predicted and what was actually
+// the case -- the raw material of Table 8 and of the non-speculative
+// predictor updates.  Records live in a flat per-task slice indexed by the
+// load's ordinal (dynRec.loadOrd), so commit- and squash-time walks visit
+// them in ascending instruction order -- deterministically, unlike the map
+// they replace.
 type loadRecord struct {
+	seen       bool // the load has reached issue at least once this attempt
 	predicted  bool
 	actualDep  bool
+	queried    bool
 	producerPC uint64
 	pairs      []memdep.PairKey
 	ldid       int64
-	queried    bool
 }
 
 // execTask is the execution state of one task on its processing unit.
@@ -64,13 +70,31 @@ type execTask struct {
 	finishedAt int64
 	committed  bool
 
-	fuNext         [isa.NumClasses][]int64
+	// fuNext points at the per-unit functional-unit reservation pool; at
+	// most one task executes on a unit at a time, so tasks sharing a unit
+	// reuse the same backing arrays (zeroed by resetExecState).
+	fuNext         *[isa.NumClasses][]int64
 	lastFetchBlock uint64
 	fetchReady     int64
 
-	wait     *waitState
-	loadInfo map[int]*loadRecord
+	// wake caches the cycle at which the task's current stall resolves when
+	// that stall is purely timed (fetch latency, operand forwarding, FU
+	// occupancy, restart delay); the event-driven core skips the task's
+	// advance before then.  Zero means "poll every pass" -- the stall (if
+	// any) depends on another task's action.  Timed wake values never move
+	// earlier: the inputs they are computed from (producer completion
+	// times, FU reservations, fetch latency) are only reset by a squash,
+	// and a squash squashes every younger task -- including any task whose
+	// wake depended on the squashed state -- clearing their wake via
+	// resetExecState.
+	wake int64
+
+	wait     waitState
+	loadInfo []loadRecord
 }
+
+// never is the "no pending event" sentinel of the event-driven core.
+const never = int64(math.MaxInt64)
 
 type sim struct {
 	cfg   Config
@@ -86,6 +110,18 @@ type sim struct {
 	cycle        int64
 	head         int
 	nextDispatch int
+
+	// Event-driven bookkeeping for one scheduling pass: changed records
+	// whether any architectural state was mutated (in which case the next
+	// cycle must be simulated), nextEvent accumulates the earliest cycle at
+	// which a currently stalled condition can resolve by time alone.
+	changed   bool
+	nextEvent int64
+
+	// fuPool holds one functional-unit reservation table per processing
+	// unit, shared by the successive tasks dispatched to that unit.
+	fuPool []([isa.NumClasses][]int64)
+	iBlock uint64
 
 	arbBypasses uint64
 	res         Result
@@ -105,40 +141,112 @@ func Simulate(w *WorkItem, cfg Config) (Result, error) {
 		arb:  arb.New(cfg.ARB),
 		seq:  ctrlflow.NewSequencer(cfg.Sequencer),
 	}
+	s.iBlock = uint64(s.hier.Config().ICacheBlock)
 	if cfg.Policy.UsesPredictor() {
 		s.mds = memdep.NewSystem(cfg.MemDep)
+		s.mds.SetReleaseHook(s.wakeLoad)
 	}
 	for _, size := range cfg.DDCSizes {
 		s.ddcs = append(s.ddcs, memdep.NewDDC(size))
 	}
+
+	// All per-task execution state is carved out of three flat backing
+	// arrays sized by the work item, so a simulation performs O(stages)
+	// allocations regardless of task count or squash activity.
 	s.tasks = make([]execTask, len(w.tasks))
+	doneAll := make([]int64, w.Instructions)
+	loadAll := make([]loadRecord, w.Loads)
 	for i := range s.tasks {
-		s.tasks[i].rec = &w.tasks[i]
+		t := &s.tasks[i]
+		t.rec = &w.tasks[i]
+		n := len(t.rec.insts)
+		t.done = doneAll[:n:n]
+		doneAll = doneAll[n:]
+		l := t.rec.loads
+		t.loadInfo = loadAll[:l:l]
+		loadAll = loadAll[l:]
 	}
+	s.fuPool = make([]([isa.NumClasses][]int64), cfg.Stages)
+	for u := range s.fuPool {
+		for c := 0; c < int(isa.NumClasses); c++ {
+			n := cfg.FUs[c]
+			if n < 1 {
+				n = 1
+			}
+			s.fuPool[u][c] = make([]int64, n)
+		}
+	}
+
 	if err := s.run(); err != nil {
 		return Result{}, err
 	}
 	return s.result(), nil
 }
 
+// post offers a cycle at which a currently stalled condition resolves by the
+// passage of time alone; run() jumps to the earliest such cycle when a
+// scheduling pass makes no progress.
+func (s *sim) post(cycle int64) {
+	if cycle > s.cycle && cycle < s.nextEvent {
+		s.nextEvent = cycle
+	}
+}
+
+// run drives the simulation to completion.
+//
+// Both cores execute the same scheduling pass (advance every in-flight task
+// in ascending order, then try to commit the head); they differ only in how
+// the clock moves between passes.  The stepped core increments it by one --
+// the classic polling loop.  The event-driven core distinguishes two cases:
+// if the pass mutated any state, the next cycle must be simulated (the
+// mutation may enable more work immediately); if the pass was a pure poll --
+// every task stalled -- nothing can happen until the earliest posted event,
+// so the clock jumps there directly.  Stall reasons that resolve by time
+// (fetch latency, operand forwarding, FU occupancy, squash restart, task
+// completion) post their resolution cycle; stall reasons that resolve only
+// through another task's action (producer not yet executed, MDST waits,
+// unresolved prior stores) post nothing, because the enabling action is
+// itself a mutation that schedules the following cycle.  The two cores are
+// therefore cycle-for-cycle identical, which TestCoresCycleIdentical and the
+// experiment-table equivalence test assert.
 func (s *sim) run() error {
 	// Dispatch the initial window.
 	for i := 0; i < s.cfg.Stages && i < len(s.tasks); i++ {
 		s.dispatch(i, int64(i)*int64(s.cfg.DispatchLatency))
 	}
+	stepped := s.cfg.Core == CoreStepped
 	for s.head < len(s.tasks) {
 		if s.cycle > s.cfg.MaxCycles {
 			return fmt.Errorf("multiscalar: %q exceeded the cycle limit of %d under %v",
 				s.w.Name, s.cfg.MaxCycles, s.cfg.Policy)
 		}
+		s.changed = false
+		s.nextEvent = never
 		for i := s.head; i < s.nextDispatch; i++ {
 			t := &s.tasks[i]
-			if !t.committed {
-				s.advance(t)
+			if t.committed {
+				continue
 			}
+			if !stepped && s.cycle < t.wake {
+				// Timed stall still pending; re-advancing would be a no-op.
+				s.post(t.wake)
+				continue
+			}
+			s.advance(t)
 		}
 		s.tryCommit()
-		s.cycle++
+		switch {
+		case stepped || s.changed:
+			s.cycle++
+		case s.nextEvent == never:
+			// No timed event pending and no progress made: the window can
+			// never advance again.  (The stepped core would spin here until
+			// the cycle limit; report the deadlock it is actually in.)
+			return fmt.Errorf("multiscalar: %q wedged at cycle %d under %v: no task can progress and no event is pending",
+				s.w.Name, s.cycle, s.cfg.Policy)
+		default:
+			s.cycle = s.nextEvent
+		}
 	}
 	return nil
 }
@@ -148,6 +256,7 @@ func (s *sim) run() error {
 func (s *sim) dispatch(taskIdx int, when int64) {
 	t := &s.tasks[taskIdx]
 	t.unit = taskIdx % s.cfg.Stages
+	t.fuNext = &s.fuPool[t.unit]
 	prevPC := uint64(0)
 	prevKnown := false
 	if taskIdx > 0 {
@@ -162,13 +271,14 @@ func (s *sim) dispatch(taskIdx int, when int64) {
 	if !out.DescriptorHit {
 		start += int64(s.cfg.DescriptorMissPenalty)
 	}
-	t.done = make([]int64, len(t.rec.insts))
 	s.resetExecState(t, start)
 	s.nextDispatch = taskIdx + 1
 }
 
 // resetExecState prepares (or re-prepares, after a squash) a task for
-// execution starting at the given cycle.
+// execution starting at the given cycle.  It only clears values: the done,
+// loadInfo and fuNext backing arrays are allocated once and reused across
+// squash-restarts.
 func (s *sim) resetExecState(t *execTask, start int64) {
 	for i := range t.done {
 		t.done[i] = -1
@@ -177,18 +287,14 @@ func (s *sim) resetExecState(t *execTask, start int64) {
 	t.storesLeft = t.rec.stores
 	t.startAt = start
 	t.finishedAt = start
-	t.wait = nil
-	t.loadInfo = make(map[int]*loadRecord, t.rec.loads)
+	t.wait = waitState{}
+	for i := range t.loadInfo {
+		t.loadInfo[i] = loadRecord{pairs: t.loadInfo[i].pairs[:0]}
+	}
 	t.lastFetchBlock = ^uint64(0)
 	t.fetchReady = 0
-	for c := 0; c < int(isa.NumClasses); c++ {
-		n := s.cfg.FUs[c]
-		if n < 1 {
-			n = 1
-		}
-		if len(t.fuNext[c]) != n {
-			t.fuNext[c] = make([]int64, n)
-		}
+	t.wake = 0
+	for c := range t.fuNext {
 		for i := range t.fuNext[c] {
 			t.fuNext[c][i] = 0
 		}
@@ -201,11 +307,16 @@ func (s *sim) tryCommit() {
 		return
 	}
 	t := &s.tasks[s.head]
-	if s.head >= s.nextDispatch || t.next < len(t.rec.insts) || t.finishedAt > s.cycle {
+	if s.head >= s.nextDispatch || t.next < len(t.rec.insts) {
+		return
+	}
+	if t.finishedAt > s.cycle {
+		s.post(t.finishedAt)
 		return
 	}
 	s.commitTask(t)
 	s.head++
+	s.changed = true
 	if s.nextDispatch < len(s.tasks) {
 		s.dispatch(s.nextDispatch, s.cycle)
 	}
@@ -215,7 +326,17 @@ func (s *sim) commitTask(t *execTask) {
 	t.committed = true
 	s.res.Tasks++
 	s.arb.CommitTask(uint64(t.rec.id))
-	for instIdx, info := range t.loadInfo {
+	// Walk the loads in ascending instruction order so MDPT updates are
+	// applied in a deterministic order.
+	for idx := range t.rec.insts {
+		r := &t.rec.insts[idx]
+		if !r.isLoad {
+			continue
+		}
+		info := &t.loadInfo[r.loadOrd]
+		if !info.seen {
+			continue
+		}
 		pred, act := 0, 0
 		if info.predicted {
 			pred = 1
@@ -229,7 +350,7 @@ func (s *sim) commitTask(t *execTask) {
 			if info.actualDep {
 				actualPC = info.producerPC
 			}
-			s.mds.CommitLoad(t.rec.insts[instIdx].pc, actualPC, info.pairs)
+			s.mds.CommitLoad(r.pc, actualPC, info.pairs)
 		}
 	}
 }
@@ -307,19 +428,30 @@ func (s *sim) taskPCAt(instance uint64) (uint64, bool) {
 	return s.tasks[instance].rec.pc, true
 }
 
+// beginWait transitions the load into the given wait state.
+func (s *sim) beginWait(t *execTask, w waitState) {
+	w.active = true
+	w.since = s.cycle
+	t.wait = w
+	s.res.LoadsWaited++
+	s.changed = true
+}
+
 // loadMayIssue applies the speculation policy to a load whose operands are
 // ready.  It returns true when the load may access memory this cycle; when it
 // returns false the load (and, because issue is in order, the rest of its
-// task) stalls.
+// task) stalls.  Wait states resolve only through the actions of other tasks
+// (store issue, MDST signal, commit), so a stalled load posts no timed event;
+// the enabling action itself schedules the re-evaluation.
 func (s *sim) loadMayIssue(t *execTask, r *dynRec, instIdx int) bool {
-	info := t.loadInfo[instIdx]
-	if info == nil {
-		info = &loadRecord{}
+	info := &t.loadInfo[r.loadOrd]
+	if !info.seen {
+		info.seen = true
 		info.actualDep, info.producerPC = s.actualDependence(t, r)
-		t.loadInfo[instIdx] = info
+		s.changed = true
 	}
 
-	if t.wait == nil {
+	if !t.wait.active {
 		switch s.cfg.Policy {
 		case policy.Always:
 			return true
@@ -328,8 +460,7 @@ func (s *sim) loadMayIssue(t *execTask, r *dynRec, instIdx int) bool {
 			if s.allPriorStoresResolved(t) {
 				return true
 			}
-			t.wait = &waitState{kind: waitAllPrior, since: s.cycle}
-			s.res.LoadsWaited++
+			s.beginWait(t, waitState{kind: waitAllPrior})
 			return false
 
 		case policy.Wait:
@@ -339,8 +470,7 @@ func (s *sim) loadMayIssue(t *execTask, r *dynRec, instIdx int) bool {
 			if s.allPriorStoresResolved(t) {
 				return true
 			}
-			t.wait = &waitState{kind: waitAllPrior, since: s.cycle}
-			s.res.LoadsWaited++
+			s.beginWait(t, waitState{kind: waitAllPrior})
 			return false
 
 		case policy.PerfectSync:
@@ -353,8 +483,7 @@ func (s *sim) loadMayIssue(t *execTask, r *dynRec, instIdx int) bool {
 			if s.tasks[p.taskIdx].done[p.idx] >= 0 {
 				return true
 			}
-			t.wait = &waitState{kind: waitProducer, since: s.cycle, producer: p}
-			s.res.LoadsWaited++
+			s.beginWait(t, waitState{kind: waitProducer, producer: p})
 			return false
 
 		case policy.Sync, policy.ESync:
@@ -375,12 +504,12 @@ func (s *sim) loadMayIssue(t *execTask, r *dynRec, instIdx int) bool {
 			info.predicted = d.Predicted
 			info.queried = true
 			info.ldid = ldid
-			info.pairs = append([]memdep.PairKey(nil), d.WaitPairs...)
+			info.pairs = append(info.pairs[:0], d.WaitPairs...)
+			s.changed = true
 			if !d.Wait {
 				return true
 			}
-			t.wait = &waitState{kind: waitSignal, since: s.cycle, ldid: ldid}
-			s.res.LoadsWaited++
+			s.beginWait(t, waitState{kind: waitSignal, ldid: ldid})
 			return false
 
 		default:
@@ -389,28 +518,27 @@ func (s *sim) loadMayIssue(t *execTask, r *dynRec, instIdx int) bool {
 	}
 
 	// The load is already waiting: evaluate its release condition.
-	w := t.wait
-	switch w.kind {
+	switch t.wait.kind {
 	case waitAllPrior:
 		if s.allPriorStoresResolved(t) {
 			s.release(t)
 			return true
 		}
 	case waitProducer:
-		p := w.producer
+		p := t.wait.producer
 		if s.tasks[p.taskIdx].done[p.idx] >= 0 {
 			s.release(t)
 			return true
 		}
 	case waitSignal:
-		if w.signaled {
+		if t.wait.signaled {
 			s.release(t)
 			return true
 		}
 		if s.allPriorStoresResolved(t) {
 			// Incomplete synchronization (section 4.4.2): the predicted store
 			// never signalled; free the entry and weaken the prediction.
-			s.mds.ReleaseLoad(w.ldid)
+			s.mds.ReleaseLoad(t.wait.ldid)
 			s.res.FalseDependenceReleases++
 			s.release(t)
 			return true
@@ -421,19 +549,22 @@ func (s *sim) loadMayIssue(t *execTask, r *dynRec, instIdx int) bool {
 
 func (s *sim) release(t *execTask) {
 	s.res.WaitCycles += uint64(s.cycle - t.wait.since)
-	t.wait = nil
+	t.wait = waitState{}
+	s.changed = true
 }
 
-// wakeLoad marks a waiting load as signalled (called when a store's MDST
-// signal releases it).
+// wakeLoad marks a waiting load as signalled.  It is registered as the
+// memdep.System release hook, so a store's MDST signal pushes the release to
+// the waiting task instead of the task polling the table.
 func (s *sim) wakeLoad(ldid int64) {
 	taskIdx, _ := idDecode(ldid)
 	if taskIdx < 0 || taskIdx >= len(s.tasks) {
 		return
 	}
 	t := &s.tasks[taskIdx]
-	if t.wait != nil && t.wait.kind == waitSignal && t.wait.ldid == ldid {
+	if t.wait.active && t.wait.kind == waitSignal && t.wait.ldid == ldid {
 		t.wait.signaled = true
+		s.changed = true
 	}
 }
 
@@ -454,29 +585,65 @@ func (s *sim) acquireFU(t *execTask, class isa.Class, op isa.Op, cycle int64) bo
 	return false
 }
 
-// advance issues up to IssueWidth instructions of the task this cycle.
+// fuFreeAt returns the earliest cycle at which a unit of the class frees up.
+func (s *sim) fuFreeAt(t *execTask, class isa.Class) int64 {
+	insts := t.fuNext[class]
+	free := insts[0]
+	for _, c := range insts[1:] {
+		if c < free {
+			free = c
+		}
+	}
+	return free
+}
+
+// advance issues up to IssueWidth instructions of the task this cycle.  Every
+// early return either marks progress (s.changed) or posts the cycle at which
+// the blocking condition resolves, so the event-driven core knows when the
+// task next becomes actionable.  Timed stalls additionally cache that cycle
+// in t.wake so the intervening passes skip the task entirely.
 func (s *sim) advance(t *execTask) {
-	if s.cycle < t.startAt || t.next >= len(t.rec.insts) {
+	t.wake = 0
+	if s.cycle < t.startAt {
+		t.wake = t.startAt
+		s.post(t.startAt)
 		return
 	}
-	blockSize := uint64(s.hier.Config().ICacheBlock)
+	if t.next >= len(t.rec.insts) {
+		return
+	}
 	for issued := 0; issued < s.cfg.IssueWidth && t.next < len(t.rec.insts); issued++ {
 		idx := t.next
 		r := &t.rec.insts[idx]
 
-		// Instruction supply: one cache access per 64-byte block.
-		block := r.pc / blockSize
-		if block != t.lastFetchBlock {
-			t.fetchReady = s.hier.InstrFetch(t.unit, r.pc, s.cycle)
-			t.lastFetchBlock = block
-		}
-		if s.cycle < t.fetchReady {
-			return
-		}
+		// A waiting load already passed the fetch and operand checks when
+		// its wait began, and their inputs cannot regress without a squash
+		// (which clears the wait); go straight to the release condition.
+		if !t.wait.active {
+			// Instruction supply: one cache access per 64-byte block.
+			block := r.pc / s.iBlock
+			if block != t.lastFetchBlock {
+				t.fetchReady = s.hier.InstrFetch(t.unit, r.pc, s.cycle)
+				t.lastFetchBlock = block
+				s.changed = true
+			}
+			if s.cycle < t.fetchReady {
+				t.wake = t.fetchReady
+				s.post(t.fetchReady)
+				return
+			}
 
-		ready, ok := s.operandReady(t, r)
-		if !ok || ready > s.cycle {
-			return
+			ready, ok := s.operandReady(t, r)
+			if !ok {
+				// Blocked on a producer that has not executed; its issue will
+				// mark progress and schedule the re-evaluation.
+				return
+			}
+			if ready > s.cycle {
+				t.wake = ready
+				s.post(ready)
+				return
+			}
 		}
 
 		if r.isLoad && !s.loadMayIssue(t, r, idx) {
@@ -484,6 +651,9 @@ func (s *sim) advance(t *execTask) {
 		}
 
 		if !s.acquireFU(t, r.class, r.op, s.cycle) {
+			free := s.fuFreeAt(t, r.class)
+			t.wake = free
+			s.post(free)
 			return
 		}
 
@@ -513,6 +683,7 @@ func (s *sim) advance(t *execTask) {
 			t.finishedAt = done
 		}
 		t.next++
+		s.changed = true
 	}
 }
 
@@ -536,16 +707,14 @@ func (s *sim) handleStore(t *execTask, r *dynRec, instIdx int) {
 		s.handleViolation(t, r, v)
 	}
 	if s.mds != nil {
-		sd := s.mds.StoreIssue(memdep.StoreQuery{
+		// Released loads are delivered through the wakeLoad hook.
+		s.mds.StoreIssue(memdep.StoreQuery{
 			PC:       r.pc,
 			Instance: uint64(t.rec.id),
 			STID:     idEncode(t.rec.id, instIdx),
 			TaskPC:   t.rec.pc,
 			Addr:     r.addr,
 		})
-		for _, ldid := range sd.ReleasedLoads {
-			s.wakeLoad(ldid)
-		}
 	}
 }
 
@@ -586,9 +755,14 @@ func (s *sim) squashTask(t *execTask, delay int64) {
 	s.res.Squashes++
 	s.res.SquashedInstructions += uint64(t.next)
 	if s.mds != nil {
-		for _, info := range t.loadInfo {
-			if info.queried {
-				s.mds.SquashLoad(info.ldid)
+		// Ascending instruction order keeps MDST invalidations (and any
+		// predictor effects) deterministic.
+		for idx := range t.rec.insts {
+			r := &t.rec.insts[idx]
+			if r.isLoad {
+				if info := &t.loadInfo[r.loadOrd]; info.seen && info.queried {
+					s.mds.SquashLoad(info.ldid)
+				}
 			}
 		}
 		for i := 0; i < t.next; i++ {
@@ -599,6 +773,7 @@ func (s *sim) squashTask(t *execTask, delay int64) {
 	}
 	s.arb.SquashTask(uint64(t.rec.id))
 	s.resetExecState(t, s.cycle+delay)
+	s.changed = true
 }
 
 func (s *sim) result() Result {
@@ -610,6 +785,7 @@ func (s *sim) result() Result {
 	r.Instructions = s.w.Instructions
 	r.Loads = s.w.Loads
 	r.Stores = s.w.Stores
+	r.ARBBypasses = s.arbBypasses
 	r.ARB = s.arb.Stats()
 	r.Cache = s.hier.Stats()
 	r.Sequencer = s.seq.Stats()

@@ -53,6 +53,11 @@ type dynRec struct {
 	hasMemProd bool
 	// memProdPC is the PC of that store (for predictor updates).
 	memProdPC uint64
+
+	// loadOrd is the load's ordinal within its task (0-based, ascending
+	// instruction order); it indexes the simulator's per-task loadRecord
+	// slice.  Only meaningful when isLoad is set.
+	loadOrd int
 }
 
 // taskRec is one dynamic Multiscalar task.
@@ -134,6 +139,7 @@ func Preprocess(p *program.Program, cfg trace.Config) (*WorkItem, error) {
 				r.hasMemProd = true
 				r.memProdPC = lastStorePC[d.Addr]
 			}
+			r.loadOrd = t.loads
 			t.loads++
 			w.Loads++
 		}
