@@ -179,16 +179,23 @@ func BenchmarkSimulate(b *testing.B) {
 	}
 }
 
-// BenchmarkMDPTLookup measures prediction-table lookups on a warm table.
+// BenchmarkMDPTLookup measures prediction-table lookups on a warm table,
+// once per table organization (the fully associative scan vs the
+// set-associative probe vs the store-set SSIT lookup).
 func BenchmarkMDPTLookup(b *testing.B) {
-	t := memdep.NewMDPT(memdep.Config{Entries: 64, SyncSlots: 8})
-	for i := 0; i < 64; i++ {
-		t.RecordMisspeculation(memdep.PairKey{LoadPC: uint64(0x1000 + 4*i), StorePC: uint64(0x2000 + 4*i)}, 1, 0)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		t.MatchesForLoad(uint64(0x1000 + 4*(i%64)))
+	for _, table := range []memdep.TableKind{memdep.TableFullAssoc, memdep.TableSetAssoc, memdep.TableStoreSet} {
+		b.Run(table.String(), func(b *testing.B) {
+			t := memdep.NewPredictor(memdep.Config{Entries: 64, SyncSlots: 8, Table: table, Ways: 4})
+			for i := 0; i < 64; i++ {
+				t.RecordMisspeculation(memdep.PairKey{LoadPC: uint64(0x1000 + 4*i), StorePC: uint64(0x2000 + 4*i)}, 1, 0)
+			}
+			var buf []memdep.Prediction
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = t.MatchesForLoad(uint64(0x1000+4*(i%64)), buf[:0])
+			}
+		})
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"memdep/internal/experiments"
+	"memdep/internal/memdep"
 	"memdep/internal/multiscalar"
 	"memdep/internal/stats"
 )
@@ -32,6 +33,8 @@ func main() {
 		scale      = flag.Int("scale", 0, "override workload scale (0 = per-benchmark default)")
 		maxInstr   = flag.Uint64("max-instructions", 0, "cap committed instructions per benchmark (0 = unlimited)")
 		entries    = flag.Int("mdpt-entries", 64, "MDPT entries")
+		predName   = flag.String("predictor", "full", "MDPT organization for the standard grids: \"full\", \"setassoc\" or \"storeset\"")
+		ways       = flag.Int("mdpt-ways", 0, "associativity for the setassoc/storeset organizations (0 = default 4)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jobs       = flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 		md         = flag.String("md", "", "write the results as markdown to this file (e.g. EXPERIMENTS.md)")
@@ -40,6 +43,11 @@ func main() {
 	flag.Parse()
 
 	coreMode, err := multiscalar.ParseCoreMode(*core)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	table, err := memdep.ParseTableKind(*predName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -63,6 +71,8 @@ func main() {
 		opts.MaxInstructions = *maxInstr
 	}
 	opts.MDPTEntries = *entries
+	opts.PredictorTable = table
+	opts.MDPTWays = *ways
 	opts.Jobs = *jobs
 	opts.Core = coreMode
 	runner := experiments.NewRunner(opts)
@@ -136,6 +146,10 @@ func writeMarkdownHeader(b *strings.Builder, opts experiments.Options, quick boo
 	}
 	if opts.MaxInstructions > 0 {
 		bounds = append(bounds, fmt.Sprintf("%d committed instructions per benchmark", opts.MaxInstructions))
+	}
+	if opts.PredictorTable != memdep.TableFullAssoc {
+		eff := memdep.Config{Entries: opts.MDPTEntries, Table: opts.PredictorTable, Ways: opts.MDPTWays}.Effective()
+		bounds = append(bounds, fmt.Sprintf("%s predictor organization (%d ways)", opts.PredictorTable, eff.Ways))
 	}
 	if len(bounds) > 0 {
 		fmt.Fprintf(b, "Run bounds: %s.\n\n", strings.Join(bounds, ", "))

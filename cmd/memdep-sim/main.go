@@ -35,10 +35,12 @@ func main() {
 		bench    = flag.String("bench", "compress", "benchmark name")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 		stages   = flag.String("stages", "8", "number of processing units (comma-separated list for a grid)")
-		polName  = flag.String("policy", "ESYNC", "speculation policy (NEVER, ALWAYS, WAIT, PSYNC, SYNC, ESYNC); comma-separated list for a grid")
+		polName  = flag.String("policy", "ESYNC", "speculation policy (NEVER, ALWAYS, WAIT, PSYNC a.k.a. PERFECT-SYNC, SYNC, ESYNC; case-insensitive); comma-separated list for a grid")
 		scale    = flag.Int("scale", 0, "workload scale (0 = benchmark default)")
 		maxInstr = flag.Uint64("max-instructions", 0, "cap committed instructions (0 = unlimited)")
 		entries  = flag.Int("mdpt-entries", 64, "MDPT entries")
+		predName = flag.String("predictor", "full", "MDPT organization: \"full\" (fully associative), \"setassoc\" (set-associative, load-PC-indexed) or \"storeset\"")
+		ways     = flag.Int("mdpt-ways", 0, "associativity for the setassoc/storeset organizations (0 = default 4)")
 		topPairs = flag.Int("top-pairs", 5, "print the N most frequently mis-speculated static pairs")
 		jobs     = flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 		core     = flag.String("core", "event", "timing-simulator run loop: \"event\" or the \"stepped\" reference (identical output)")
@@ -46,6 +48,10 @@ func main() {
 	flag.Parse()
 
 	coreMode, err := multiscalar.ParseCoreMode(*core)
+	if err != nil {
+		fatal(err)
+	}
+	table, err := memdep.ParseTableKind(*predName)
 	if err != nil {
 		fatal(err)
 	}
@@ -98,6 +104,8 @@ func main() {
 		for _, pol := range pols {
 			cfg := multiscalar.DefaultConfig(st, pol)
 			cfg.MemDep.Entries = *entries
+			cfg.MemDep.Table = table
+			cfg.MemDep.Ways = *ways
 			cfg.Core = coreMode
 			runs = append(runs, run{st, pol, b.Add(multiscalar.SimulateJob{Item: itemSpec, Config: cfg})})
 		}
@@ -119,7 +127,10 @@ func main() {
 			fmt.Println()
 		}
 		res := engine.Get[multiscalar.Result](b, rn.ref)
-		printResult(*bench, s, rn.stages, rn.pol, *entries, item, prog, res, *topPairs)
+		// Report the effective geometry (defaults applied, ways clamped),
+		// not the raw flag values.
+		effMD := memdep.Config{Entries: *entries, Table: table, Ways: *ways}.Effective()
+		printResult(*bench, s, rn.stages, rn.pol, *entries, table, effMD.Ways, item, prog, res, *topPairs)
 	}
 	if len(runs) > 1 {
 		fmt.Printf("\n[engine: %d workers, %d jobs executed, %d cache hits]\n",
@@ -145,9 +156,14 @@ func fatal(err error) {
 }
 
 func printResult(bench string, scale, stages int, pol policy.Kind, entries int,
+	table memdep.TableKind, ways int,
 	item *multiscalar.WorkItem, prog *program.Program, res multiscalar.Result, topPairs int) {
 	fmt.Printf("benchmark        %s (scale %d)\n", bench, scale)
-	fmt.Printf("configuration    %d stages, policy %v, %d MDPT entries\n", stages, pol, entries)
+	cfgLine := fmt.Sprintf("%d stages, policy %v, %d MDPT entries", stages, pol, entries)
+	if table != memdep.TableFullAssoc {
+		cfgLine += fmt.Sprintf(", %s organization (%d ways)", table, ways)
+	}
+	fmt.Printf("configuration    %s\n", cfgLine)
 	fmt.Printf("instructions     %d (%d loads, %d stores, %d tasks, %.1f instr/task)\n",
 		res.Instructions, res.Loads, res.Stores, res.Tasks, item.AvgTaskSize())
 	fmt.Printf("cycles           %d\n", res.Cycles)

@@ -164,6 +164,7 @@ func All() []NamedExperiment {
 		{"ablation-tagging", "instance tagging: distance vs address", (*Runner).AblationTagging},
 		{"ablation-predictor", "prediction policy: always/SYNC/ESYNC", (*Runner).AblationPredictor},
 		{"ablation-tablesize", "MDPT size sweep", (*Runner).AblationTableSize},
+		{"sensitivity-predictor", "predictor organization: entries × ways × counter bits", (*Runner).SensitivityPredictorOrg},
 	}
 }
 

@@ -17,6 +17,7 @@ package experiments
 
 import (
 	"memdep/internal/engine"
+	"memdep/internal/memdep"
 	"memdep/internal/multiscalar"
 	"memdep/internal/policy"
 	"memdep/internal/program"
@@ -38,6 +39,14 @@ type Options struct {
 	// MDPTEntries sets the prediction-table size (default 64, the paper's
 	// evaluated configuration).
 	MDPTEntries int
+	// PredictorTable selects the prediction-table organization applied to
+	// every standard simulation (default: the paper's fully associative
+	// MDPT).  The sensitivity-sweep driver varies the organization itself
+	// and ignores this override.
+	PredictorTable memdep.TableKind
+	// MDPTWays sets the associativity for the set-associative and store-set
+	// organizations (0 = the memdep default of 4).
+	MDPTWays int
 	// Core selects the timing-simulator run loop (default: the event-driven
 	// core).  The stepped reference core produces byte-identical tables and
 	// exists for equivalence testing.
@@ -133,6 +142,8 @@ func (r *Runner) workItemSpec(name string) engine.Spec {
 func (r *Runner) simConfig(stages int, pol policy.Kind) multiscalar.Config {
 	cfg := multiscalar.DefaultConfig(stages, pol)
 	cfg.MemDep.Entries = r.opts.MDPTEntries
+	cfg.MemDep.Table = r.opts.PredictorTable
+	cfg.MemDep.Ways = r.opts.MDPTWays
 	cfg.Core = r.opts.Core
 	return cfg
 }

@@ -251,6 +251,54 @@ func TestLookupAndAll(t *testing.T) {
 	}
 }
 
+// TestSensitivitySweepShape checks the predictor-organization sweep: one row
+// per policy × organization, the baseline row present, and every cell a
+// positive IPC.
+func TestSensitivitySweepShape(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.SensitivityPredictorOrg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(sensitivityPolicies()) * len(sensitivityOrgs())
+	if tab.NumRows() != wantRows {
+		t.Fatalf("rows = %d, want %d", tab.NumRows(), wantRows)
+	}
+	if !strings.Contains(tab.Render(), "full 64e 3b") {
+		t.Error("the paper's baseline organization must appear in the sweep")
+	}
+	for row := 0; row < tab.NumRows(); row++ {
+		for col := 2; col < 2+len(workload.SPECint92Names()); col++ {
+			ipc, err := strconv.ParseFloat(tab.Cell(row, col), 64)
+			if err != nil || ipc <= 0 {
+				t.Errorf("row %d col %d: IPC cell %q", row, col, tab.Cell(row, col))
+			}
+		}
+	}
+}
+
+// TestSensitivityBaselineMatchesAblation cross-checks the sweep against the
+// standard grid: the sweep's fully-associative 64-entry 3-bit row is the same
+// configuration as the plain 8-stage simulation, so the IPCs must agree.
+func TestSensitivityBaselineMatchesAblation(t *testing.T) {
+	r := quickRunner()
+	tab, err := r.SensitivityPredictorOrg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col, name := range workload.SPECint92Names() {
+		res, err := r.Simulate(name, 8, policy.Sync)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tab.Cell(0, 2+col) // first row is SYNC / full 64e 3b
+		got := strconv.FormatFloat(res.IPC(), 'f', 2, 64)
+		if got != want {
+			t.Errorf("%s: sweep baseline IPC %s != standard grid IPC %s", name, want, got)
+		}
+	}
+}
+
 func TestAblationsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablations are slow; skipped in -short mode")

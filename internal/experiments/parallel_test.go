@@ -20,6 +20,7 @@ func TestDriversDeterministicAcrossWorkerCounts(t *testing.T) {
 		{"table8", (*Runner).Table8PredictionBreakdown},
 		{"table9", (*Runner).Table9MisspecPerLoad},
 		{"figure5", (*Runner).Figure5PolicyComparison},
+		{"sensitivity-predictor", (*Runner).SensitivityPredictorOrg},
 	}
 	render := func(jobs int) map[string]string {
 		opts := Quick()

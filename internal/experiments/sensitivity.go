@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memdep/internal/engine"
+	"memdep/internal/memdep"
+	"memdep/internal/multiscalar"
+	"memdep/internal/policy"
+	"memdep/internal/stats"
+	"memdep/internal/workload"
+)
+
+// predictorOrg is one prediction-table organization of the sensitivity sweep.
+type predictorOrg struct {
+	label       string
+	table       memdep.TableKind
+	entries     int
+	ways        int
+	counterBits int
+}
+
+// sensitivityOrgs returns the organizations swept by the predictor
+// sensitivity study: the paper's fully associative table (the baseline every
+// other EXPERIMENTS.md table uses), a narrower counter, the set-associative
+// table at 1/2/4 ways and at reduced capacity, and the store-set variant.
+func sensitivityOrgs() []predictorOrg {
+	return []predictorOrg{
+		{"full 64e 3b", memdep.TableFullAssoc, 64, 0, 3},
+		{"full 64e 2b", memdep.TableFullAssoc, 64, 0, 2},
+		{"setassoc 64e/1w 3b", memdep.TableSetAssoc, 64, 1, 3},
+		{"setassoc 64e/2w 3b", memdep.TableSetAssoc, 64, 2, 3},
+		{"setassoc 64e/4w 3b", memdep.TableSetAssoc, 64, 4, 3},
+		{"setassoc 16e/4w 3b", memdep.TableSetAssoc, 16, 4, 3},
+		{"storeset 64e/4w 3b", memdep.TableStoreSet, 64, 4, 3},
+	}
+}
+
+// sensitivityPolicies returns the predictor-driven policies of the sweep.
+func sensitivityPolicies() []policy.Kind { return []policy.Kind{policy.Sync, policy.ESync} }
+
+// SensitivityPredictorOrg sweeps the prediction-table organization --
+// {entries, associativity, counter bits} across the fully associative,
+// set-associative and store-set tables -- for the SYNC and ESYNC policies on
+// the 8-stage configuration.  It is the table-organization counterpart of
+// AblationTableSize: where that study grows one fully associative table, this
+// one holds the paper's operating point and asks how much organization (and
+// hence lookup cost and conflict behaviour) the prediction quality tolerates.
+// Like every driver it is one engine job set, so output is byte-identical at
+// every -jobs setting.
+func (r *Runner) SensitivityPredictorOrg() (*stats.Table, error) {
+	const stages = 8
+
+	b := r.eng.NewBatch()
+	type row struct {
+		pol  policy.Kind
+		org  predictorOrg
+		refs []engine.Ref
+	}
+	var rows []row
+	for _, pol := range sensitivityPolicies() {
+		for _, org := range sensitivityOrgs() {
+			rw := row{pol: pol, org: org}
+			for _, name := range workload.SPECint92Names() {
+				cfg := r.simConfig(stages, pol)
+				cfg.MemDep.Table = org.table
+				cfg.MemDep.Entries = org.entries
+				cfg.MemDep.Ways = org.ways
+				cfg.MemDep.CounterBits = org.counterBits
+				rw.refs = append(rw.refs, b.Add(r.simSpecWith(name, cfg)))
+			}
+			rows = append(rows, rw)
+		}
+	}
+	if err := b.Run(); err != nil {
+		return nil, err
+	}
+
+	cols := append([]string{"policy", "organization"}, workload.SPECint92Names()...)
+	t := stats.NewTable(
+		fmt.Sprintf("Sensitivity: predictor organization, IPC (%d stages)", stages), cols...)
+	for _, rw := range rows {
+		out := []string{rw.pol.String(), rw.org.label}
+		for _, ref := range rw.refs {
+			out = append(out, stats.FormatFloat(engine.Get[multiscalar.Result](b, ref).IPC(), 2))
+		}
+		t.AddRow(out...)
+	}
+	t.Note = "Organizations are <table> <entries>e[/<ways>w] <counter bits>b; \"full 64e 3b\" is the configuration of every other table."
+	return t, nil
+}

@@ -17,23 +17,21 @@ type mdptEntry struct {
 
 // MDPT is the memory dependence prediction table.  It is a small, fully
 // associative, LRU-managed table; an entry identifies a static dependence and
-// predicts whether its future dynamic instances should be synchronized.
+// predicts whether its future dynamic instances should be synchronized.  It
+// is the TableFullAssoc implementation of the Predictor interface; see
+// SetAssocMDPT and StoreSetPredictor for the other organizations.
 type MDPT struct {
 	cfg     Config
 	entries []mdptEntry
 	clock   uint64
-
-	// loadScratch and storeScratch back the slices returned by
-	// MatchesForLoad and MatchesForStore, reused across calls to keep the
-	// simulator's per-load/per-store lookups allocation-free.
-	loadScratch  []Prediction
-	storeScratch []Prediction
 
 	allocations  uint64
 	replacements uint64
 	strengthens  uint64
 	weakens      uint64
 }
+
+var _ Predictor = (*MDPT)(nil)
 
 // NewMDPT creates a prediction table from the configuration.
 func NewMDPT(cfg Config) *MDPT {
@@ -58,7 +56,10 @@ func (t *MDPT) Len() int {
 // Capacity returns the number of entries in the table.
 func (t *MDPT) Capacity() int { return len(t.entries) }
 
-func (t *MDPT) counterMax() int { return (1 << t.cfg.CounterBits) - 1 }
+// Kind implements Predictor.
+func (t *MDPT) Kind() TableKind { return TableFullAssoc }
+
+func (t *MDPT) counterMax() int { return t.cfg.counterMax() }
 
 func (t *MDPT) touch(e *mdptEntry) {
 	t.clock++
@@ -108,45 +109,36 @@ func (t *MDPT) prediction(e *mdptEntry) Prediction {
 
 // predicts applies the prediction policy to an entry.
 func (t *MDPT) predicts(e *mdptEntry) bool {
-	switch t.cfg.Predictor {
-	case PredictAlways:
-		return true
-	default:
-		return e.counter >= t.cfg.Threshold
-	}
+	return t.cfg.syncPredicted(e.counter)
 }
 
-// MatchesForLoad returns the predictions of all valid entries whose load PC
-// matches (a load may have multiple static dependences, section 4.4.4).  The
-// returned slice is only valid until the next MatchesForLoad call; copy it to
-// retain it.
-func (t *MDPT) MatchesForLoad(loadPC uint64) []Prediction {
-	out := t.loadScratch[:0]
+// MatchesForLoad appends to dst the predictions of all valid entries whose
+// load PC matches (a load may have multiple static dependences, section
+// 4.4.4) and returns the extended slice.  dst is caller-owned: results are
+// never invalidated by a later call.
+func (t *MDPT) MatchesForLoad(loadPC uint64, dst []Prediction) []Prediction {
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.loadPC == loadPC {
 			t.touch(e)
-			out = append(out, t.prediction(e))
+			dst = append(dst, t.prediction(e))
 		}
 	}
-	t.loadScratch = out
-	return out
+	return dst
 }
 
-// MatchesForStore returns the predictions of all valid entries whose store PC
-// matches.  The returned slice is only valid until the next MatchesForStore
-// call; copy it to retain it.
-func (t *MDPT) MatchesForStore(storePC uint64) []Prediction {
-	out := t.storeScratch[:0]
+// MatchesForStore appends to dst the predictions of all valid entries whose
+// store PC matches and returns the extended slice.  dst is caller-owned:
+// results are never invalidated by a later call.
+func (t *MDPT) MatchesForStore(storePC uint64, dst []Prediction) []Prediction {
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.storePC == storePC {
 			t.touch(e)
-			out = append(out, t.prediction(e))
+			dst = append(dst, t.prediction(e))
 		}
 	}
-	t.storeScratch = out
-	return out
+	return dst
 }
 
 // RecordMisspeculation allocates an entry for the pair (or strengthens an

@@ -133,7 +133,7 @@ func TestMDPTLRUReplacement(t *testing.T) {
 		m.RecordMisspeculation(p, 1, 0)
 	}
 	// Touch pair 0 so pair 1 is the LRU victim.
-	m.MatchesForLoad(pairs[0].LoadPC)
+	m.MatchesForLoad(pairs[0].LoadPC, nil)
 	m.RecordMisspeculation(pairs[4], 1, 0)
 	if _, ok := m.Lookup(pairs[1]); ok {
 		t.Error("LRU entry (pair 1) should have been replaced")
@@ -152,7 +152,7 @@ func TestMDPTMultipleDependencesPerLoad(t *testing.T) {
 	ld := uint64(0x500)
 	m.RecordMisspeculation(PairKey{LoadPC: ld, StorePC: 0x100}, 1, 0)
 	m.RecordMisspeculation(PairKey{LoadPC: ld, StorePC: 0x104}, 2, 0)
-	matches := m.MatchesForLoad(ld)
+	matches := m.MatchesForLoad(ld, nil)
 	if len(matches) != 2 {
 		t.Fatalf("matches = %d, want 2", len(matches))
 	}
@@ -163,7 +163,7 @@ func TestMDPTMultipleDependencesPerLoad(t *testing.T) {
 	if !stores[0x100] || !stores[0x104] {
 		t.Error("both static dependences must match")
 	}
-	if got := m.MatchesForStore(0x104); len(got) != 1 {
+	if got := m.MatchesForStore(0x104, nil); len(got) != 1 {
 		t.Errorf("store matches = %d, want 1", len(got))
 	}
 }

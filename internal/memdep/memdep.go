@@ -109,6 +109,14 @@ type Config struct {
 	SyncSlots int
 	// Predictor selects the prediction policy.
 	Predictor PredictorKind
+	// Table selects the prediction-table organization (default: the paper's
+	// fully associative MDPT).
+	Table TableKind
+	// Ways is the associativity of the set-associative organization and the
+	// per-set member bound of the store-set organization (default 4, clamped
+	// to Entries).  Ignored -- and normalized to zero -- for the fully
+	// associative table.
+	Ways int
 	// CounterBits is the width of the up/down counter (default 3).
 	CounterBits int
 	// Threshold is the counter value at or above which a dependence (and
@@ -116,7 +124,9 @@ type Config struct {
 	Threshold int
 	// InitialCounter is the counter value given to a newly allocated entry
 	// (default Threshold+1, so a fresh mis-speculation predicts
-	// synchronization with a little hysteresis).
+	// synchronization with a little hysteresis).  Values above the counter's
+	// saturation point are clamped by withDefaults and reported by Validate:
+	// an entry must never be born stronger than the counter can represent.
 	InitialCounter int
 	// TagByAddress switches dynamic-instance tagging from the dependence
 	// distance scheme to the data-address scheme (ablation).
@@ -139,7 +149,13 @@ func DefaultConfig(stages int) Config {
 	}
 }
 
-// withDefaults fills unset fields.
+// maxCounterBits bounds the counter width so 1<<CounterBits cannot overflow.
+const maxCounterBits = 16
+
+// withDefaults fills unset fields and clamps inconsistent ones.  Clamping is
+// deliberately forgiving (a constructed table always behaves sanely);
+// Validate reports the raw inconsistencies for callers that want an error
+// instead of a silent repair.
 func (c Config) withDefaults() Config {
 	if c.Entries <= 0 {
 		c.Entries = 64
@@ -150,25 +166,67 @@ func (c Config) withDefaults() Config {
 	if c.CounterBits <= 0 {
 		c.CounterBits = 3
 	}
+	if c.CounterBits > maxCounterBits {
+		c.CounterBits = maxCounterBits
+	}
 	if c.Threshold <= 0 {
 		c.Threshold = 3
 	}
 	if c.InitialCounter <= 0 {
 		c.InitialCounter = c.Threshold + 1
 	}
-	max := (1 << c.CounterBits) - 1
-	if c.InitialCounter > max {
+	if max := c.counterMax(); c.InitialCounter > max {
+		// An entry must not be born stronger than the counter saturates at.
 		c.InitialCounter = max
+	}
+	if c.Table == TableFullAssoc {
+		c.Ways = 0 // ignored; normalized so equivalent configs share cache keys
+	} else {
+		if c.Ways <= 0 {
+			c.Ways = 4
+		}
+		if c.Ways > c.Entries {
+			c.Ways = c.Entries
+		}
 	}
 	return c
 }
 
+// Effective returns the configuration a table built from c actually runs
+// with: defaults applied and inconsistent fields clamped.  Tools that echo a
+// configuration should report these values, not the raw inputs.
+func (c Config) Effective() Config { return c.withDefaults() }
+
+// counterMax returns the saturation value of the up/down counter.
+func (c Config) counterMax() int { return (1 << c.CounterBits) - 1 }
+
+// syncPredicted applies the prediction policy to a counter value.
+func (c Config) syncPredicted(counter int) bool {
+	if c.Predictor == PredictAlways {
+		return true
+	}
+	return counter >= c.Threshold
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
+	if c.CounterBits > maxCounterBits {
+		return fmt.Errorf("memdep: %d counter bits is unreasonably wide (max %d)",
+			c.CounterBits, maxCounterBits)
+	}
 	d := c.withDefaults()
-	if d.Threshold >= 1<<d.CounterBits {
+	if !d.Table.Valid() {
+		return fmt.Errorf("memdep: invalid predictor table %d", int(d.Table))
+	}
+	if d.Threshold > d.counterMax() {
 		return fmt.Errorf("memdep: threshold %d does not fit in %d counter bits",
 			d.Threshold, d.CounterBits)
+	}
+	// Report the raw inconsistency that withDefaults silently clamps: an
+	// explicitly requested InitialCounter beyond saturation is a misconfig.
+	if c.InitialCounter > d.counterMax() {
+		return fmt.Errorf("memdep: initial counter %d exceeds the %d-bit saturation value %d",
+			c.InitialCounter, d.CounterBits, d.counterMax())
 	}
 	return nil
 }

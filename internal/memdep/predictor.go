@@ -1,0 +1,120 @@
+package memdep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Predictor is the interface of a memory dependence prediction table.  The
+// MDPT of the paper (section 4.1) is one organization of it; the package
+// provides three:
+//
+//   - MDPT: the fully associative, LRU-managed table evaluated in the paper
+//     (TableFullAssoc, the default)
+//   - SetAssocMDPT: a set-associative, load-PC-indexed organization with
+//     per-set LRU and O(ways) lookups (TableSetAssoc)
+//   - StoreSetPredictor: a store-set-style organization that groups the
+//     loads and stores of transitively related dependences into one set with
+//     a shared confidence counter (TableStoreSet)
+//
+// All implementations are driven through the same dynamic events: lookups on
+// load/store issue, learning on mis-speculation, and non-speculative
+// strengthen/weaken updates on commit and release.
+//
+// MatchesForLoad and MatchesForStore append into a caller-owned buffer and
+// return the extended slice.  Because the predictor never retains or reuses
+// the buffer, results held by the caller stay intact across subsequent calls
+// -- the earlier scratch-slice contract ("valid until the next call") is
+// gone, and with it the aliasing hazard it carried.  Callers that want an
+// allocation-free hot path pass a reusable buffer (see System).
+type Predictor interface {
+	// Kind reports the table organization.
+	Kind() TableKind
+	// MatchesForLoad appends the predictions of all valid entries whose load
+	// PC matches (a load may have multiple static dependences, section 4.4.4)
+	// and returns the extended slice.  Matching entries are touched for LRU.
+	MatchesForLoad(loadPC uint64, dst []Prediction) []Prediction
+	// MatchesForStore appends the predictions of all valid entries whose
+	// store PC matches and returns the extended slice.
+	MatchesForStore(storePC uint64, dst []Prediction) []Prediction
+	// Lookup returns the prediction state for the exact static pair, if
+	// present.  It does not touch the entry.
+	Lookup(pair PairKey) (Prediction, bool)
+	// RecordMisspeculation allocates an entry for the pair (or strengthens an
+	// existing one).  dist is the dependence distance and storeTaskPC
+	// identifies the task that issued the store (used by ESYNC).
+	RecordMisspeculation(pair PairKey, dist uint64, storeTaskPC uint64)
+	// Strengthen increases the confidence of the pair's entry; unknown pairs
+	// are ignored.
+	Strengthen(pair PairKey)
+	// Weaken decreases the confidence of the pair's entry; unknown pairs are
+	// ignored.
+	Weaken(pair PairKey)
+	// Len returns the number of live entries (valid entries for the pair
+	// tables, valid sets for the store-set organization).
+	Len() int
+	// Capacity returns the table's capacity in the same unit as Len.
+	Capacity() int
+	// Stats returns a snapshot of the table's counters.
+	Stats() MDPTStats
+	// Reset invalidates all entries and clears the counters.
+	Reset()
+}
+
+// TableKind selects the prediction-table organization.
+type TableKind int
+
+const (
+	// TableFullAssoc is the paper's fully associative, LRU-managed MDPT
+	// (the default).
+	TableFullAssoc TableKind = iota
+	// TableSetAssoc is the set-associative, load-PC-indexed MDPT: Entries
+	// slots organized as Entries/Ways sets, per-set LRU, O(ways) lookups.
+	TableSetAssoc
+	// TableStoreSet is the store-set-style organization: related loads and
+	// stores are merged into one set with a shared confidence counter.
+	TableStoreSet
+
+	numTableKinds
+)
+
+// String returns the flag spelling of the organization.
+func (k TableKind) String() string {
+	switch k {
+	case TableFullAssoc:
+		return "full"
+	case TableSetAssoc:
+		return "setassoc"
+	case TableStoreSet:
+		return "storeset"
+	default:
+		return fmt.Sprintf("table(%d)", int(k))
+	}
+}
+
+// Valid reports whether k names a defined organization.
+func (k TableKind) Valid() bool { return k >= 0 && k < numTableKinds }
+
+// ParseTableKind parses the -predictor flag values "full", "setassoc" and
+// "storeset", case-insensitively (matching policy.Parse).
+func ParseTableKind(s string) (TableKind, error) {
+	n := strings.ToLower(strings.TrimSpace(s))
+	for k := TableFullAssoc; k < numTableKinds; k++ {
+		if k.String() == n {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("memdep: unknown predictor table %q (want \"full\", \"setassoc\" or \"storeset\")", s)
+}
+
+// NewPredictor creates the prediction table selected by cfg.Table.
+func NewPredictor(cfg Config) Predictor {
+	switch cfg.withDefaults().Table {
+	case TableSetAssoc:
+		return NewSetAssocMDPT(cfg)
+	case TableStoreSet:
+		return NewStoreSetPredictor(cfg)
+	default:
+		return NewMDPT(cfg)
+	}
+}

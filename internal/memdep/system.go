@@ -19,7 +19,7 @@ package memdep
 // SquashStore).
 type System struct {
 	cfg  Config
-	mdpt *MDPT
+	pred Predictor
 	mdst *MDST
 
 	// onRelease, when set, is invoked synchronously from StoreIssue for
@@ -32,6 +32,11 @@ type System struct {
 	waitScratch   []PairKey
 	readyScratch  []PairKey
 	signalScratch []PairKey
+
+	// Prediction buffers handed to the Predictor's append-into-buffer
+	// lookups, one per direction so the hot path stays allocation-free.
+	loadPredScratch  []Prediction
+	storePredScratch []Prediction
 
 	stats SystemStats
 }
@@ -66,12 +71,13 @@ type SystemStats struct {
 	ESyncFiltered uint64
 }
 
-// NewSystem creates a prediction/synchronization system.
+// NewSystem creates a prediction/synchronization system; the prediction
+// table's organization is selected by cfg.Table.
 func NewSystem(cfg Config) *System {
 	cfg = cfg.withDefaults()
 	return &System{
 		cfg:  cfg,
-		mdpt: NewMDPT(cfg),
+		pred: NewPredictor(cfg),
 		mdst: NewMDST(cfg.Entries * cfg.SyncSlots),
 	}
 }
@@ -79,8 +85,14 @@ func NewSystem(cfg Config) *System {
 // Config returns the effective configuration (defaults applied).
 func (s *System) Config() Config { return s.cfg }
 
-// MDPT exposes the prediction table (read-mostly; used by tests and tools).
-func (s *System) MDPT() *MDPT { return s.mdpt }
+// Predictor exposes the prediction table (read-mostly; used by tests and
+// tools).
+func (s *System) Predictor() Predictor { return s.pred }
+
+// MDPT exposes the prediction table under its historical name.  It returns
+// the Predictor interface: the table is only an MDPT in the paper's default
+// fully associative organization.
+func (s *System) MDPT() Predictor { return s.pred }
 
 // MDST exposes the synchronization table.
 func (s *System) MDST() *MDST { return s.mdst }
@@ -152,7 +164,8 @@ func (s *System) LoadIssue(q LoadQuery) LoadDecision {
 	s.waitScratch = s.waitScratch[:0]
 	s.readyScratch = s.readyScratch[:0]
 	var d LoadDecision
-	for _, pred := range s.mdpt.MatchesForLoad(q.PC) {
+	s.loadPredScratch = s.pred.MatchesForLoad(q.PC, s.loadPredScratch[:0])
+	for _, pred := range s.loadPredScratch {
 		if !pred.Sync {
 			continue
 		}
@@ -231,7 +244,8 @@ func (s *System) StoreIssue(q StoreQuery) StoreDecision {
 	s.stats.StoreQueries++
 	s.signalScratch = s.signalScratch[:0]
 	var d StoreDecision
-	for _, pred := range s.mdpt.MatchesForStore(q.PC) {
+	s.storePredScratch = s.pred.MatchesForStore(q.PC, s.storePredScratch[:0])
+	for _, pred := range s.storePredScratch {
 		if !pred.Sync {
 			continue
 		}
@@ -275,7 +289,7 @@ func (s *System) StoreIssue(q StoreQuery) StoreDecision {
 func (s *System) ReleaseLoad(ldid int64) int {
 	freed := s.mdst.ReleaseLoad(ldid)
 	for _, pair := range freed {
-		s.mdpt.Weaken(pair)
+		s.pred.Weaken(pair)
 	}
 	if len(freed) > 0 {
 		s.stats.LoadsReleasedStale++
@@ -300,7 +314,7 @@ func (s *System) SquashStore(stid int64) int {
 // pair caused a mis-speculation at the given dependence distance.
 func (s *System) RecordMisspeculation(pair PairKey, dist uint64, storeTaskPC uint64) {
 	s.stats.Misspeculations++
-	s.mdpt.RecordMisspeculation(pair, dist, storeTaskPC)
+	s.pred.RecordMisspeculation(pair, dist, storeTaskPC)
 }
 
 // CommitLoad updates the predictor non-speculatively when a load commits.
@@ -318,9 +332,9 @@ func (s *System) CommitLoad(loadPC uint64, actualStorePC uint64, waitedPairs []P
 			continue
 		}
 		if actualStorePC != 0 && pair.StorePC == actualStorePC {
-			s.mdpt.Strengthen(pair)
+			s.pred.Strengthen(pair)
 		} else {
-			s.mdpt.Weaken(pair)
+			s.pred.Weaken(pair)
 		}
 	}
 	if actualStorePC != 0 {
@@ -332,14 +346,14 @@ func (s *System) CommitLoad(loadPC uint64, actualStorePC uint64, waitedPairs []P
 			}
 		}
 		if !waited {
-			s.mdpt.Strengthen(PairKey{LoadPC: loadPC, StorePC: actualStorePC})
+			s.pred.Strengthen(PairKey{LoadPC: loadPC, StorePC: actualStorePC})
 		}
 	}
 }
 
 // Reset clears both tables and the counters.
 func (s *System) Reset() {
-	s.mdpt.Reset()
+	s.pred.Reset()
 	s.mdst.Reset()
 	s.stats = SystemStats{}
 }

@@ -4,6 +4,7 @@ package policy
 
 import (
 	"fmt"
+	"strings"
 
 	"memdep/internal/memdep"
 )
@@ -73,13 +74,21 @@ func (k Kind) String() string {
 // Valid reports whether k names a defined policy.
 func (k Kind) Valid() bool { return k >= 0 && k < numKinds }
 
-// Parse converts a policy name (as printed by String, case-sensitive) back to
-// its Kind.
+// Parse converts a policy name back to its Kind.  It accepts the canonical
+// paper names printed by String (case-insensitively) plus the long-form
+// aliases some tools and documents use for the perfect-synchronization
+// oracle: "PERFECT-SYNC" and "PERFECTSYNC" parse to the same Kind as
+// "PSYNC", and String always canonicalizes back to the paper's spelling.
 func Parse(name string) (Kind, error) {
+	n := strings.ToUpper(strings.TrimSpace(name))
 	for _, k := range All() {
-		if k.String() == name {
+		if k.String() == n {
 			return k, nil
 		}
+	}
+	switch n {
+	case "PERFECT-SYNC", "PERFECTSYNC":
+		return PerfectSync, nil
 	}
 	return 0, fmt.Errorf("policy: unknown policy %q", name)
 }

@@ -22,6 +22,41 @@ func TestStringAndParseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParseAliases pins the accepted alternative spellings: the long-form
+// PERFECT-SYNC aliases parse to the same Kind as the paper's PSYNC, parsing
+// is case-insensitive, and String canonicalizes every alias back to the
+// paper's name (so alias → Parse → String → Parse round-trips).
+func TestParseAliases(t *testing.T) {
+	aliases := map[string]Kind{
+		"PSYNC":        PerfectSync,
+		"PERFECT-SYNC": PerfectSync,
+		"PERFECTSYNC":  PerfectSync,
+		"psync":        PerfectSync,
+		"perfect-sync": PerfectSync,
+		" esync ":      ESync,
+		"sync":         Sync,
+		"always":       Always,
+	}
+	for name, want := range aliases {
+		got, err := Parse(name)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %v, want %v", name, got, want)
+		}
+		// Round-trip through the canonical spelling.
+		canon, err := Parse(got.String())
+		if err != nil || canon != want {
+			t.Errorf("Parse(String(%v)) = %v, %v", want, canon, err)
+		}
+	}
+	if PerfectSync.String() != "PSYNC" {
+		t.Errorf("canonical spelling = %q, want the paper's PSYNC", PerfectSync.String())
+	}
+}
+
 func TestNamesMatchPaper(t *testing.T) {
 	want := map[Kind]string{
 		Never:       "NEVER",
