@@ -1,6 +1,7 @@
 package memdep_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -26,7 +27,7 @@ func benchExperiment(b *testing.B, id string) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		runner := experiments.NewRunner(experiments.Quick())
-		tab, err := exp.Run(runner)
+		tab, err := exp.Run(runner, context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func benchEngineGrid(b *testing.B, jobs int) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			tab, err := exp.Run(runner)
+			tab, err := exp.Run(runner, context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}

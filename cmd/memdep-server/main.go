@@ -1,0 +1,81 @@
+// Command memdep-server serves the memdep simulator as a long-running
+// HTTP/JSON service on top of the public sim facade (memdep/sim).
+//
+// Endpoints:
+//
+//	POST /v1/simulate    run one simulation        (body: sim.Request JSON)
+//	POST /v1/grid        run a simulation grid     (body: {"requests": [...]})
+//	GET  /v1/benchmarks  list the workload suite
+//	GET  /v1/healthz     liveness + cache counters
+//
+// Example:
+//
+//	memdep-server -addr :8080 &
+//	curl -d '{"bench":"compress","stages":8,"policy":"ESYNC"}' localhost:8080/v1/simulate
+//
+// All requests share one sim.Session: concurrent clients hit the same
+// memoized result cache, grids fan out over the -jobs worker pool, and each
+// request is cancellable -- a client that disconnects aborts its in-flight
+// simulation.  SIGINT/SIGTERM drain in-flight requests before exit
+// (graceful shutdown).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"memdep/sim"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		jobs        = flag.Int("jobs", 0, "engine worker-pool size shared by all requests (0 = GOMAXPROCS)")
+		drainwindow = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
+	)
+	flag.Parse()
+
+	session := sim.NewSession(sim.WithWorkers(*jobs))
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newHandler(session),
+		// Bound how long a client may dribble its request in; responses are
+		// unbounded because a full-scale simulation legitimately takes a
+		// while to compute before the first byte.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "[memdep-server listening on %s, %d workers]\n", *addr, session.Stats().Workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "[memdep-server draining]")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainwindow)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "[memdep-server stopped]")
+}

@@ -1,0 +1,304 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memdep/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newHandler(sim.NewSession(sim.WithWorkers(2))))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// do issues a request and returns status and body.
+func do(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// checkGolden compares got against the named golden file (or rewrites it
+// with -update).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s: response differs from golden file\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestSimulateGolden pins the full JSON response of POST /v1/simulate for a
+// bounded, deterministic request.
+func TestSimulateGolden(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := do(t, "POST", ts.URL+"/v1/simulate",
+		`{"bench":"compress","stages":8,"policy":"ESYNC","max_instructions":40000}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	checkGolden(t, "simulate.json.golden", body)
+}
+
+// TestGridGolden pins POST /v1/grid: positional results and a shared cache
+// (the stats block shows one work item serving all four simulations).
+func TestGridGolden(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := do(t, "POST", ts.URL+"/v1/grid",
+		`{"requests":[
+			{"bench":"compress","stages":4,"policy":"ALWAYS","max_instructions":40000},
+			{"bench":"compress","stages":4,"policy":"ESYNC","max_instructions":40000},
+			{"bench":"compress","stages":8,"policy":"ALWAYS","max_instructions":40000},
+			{"bench":"compress","stages":8,"policy":"ESYNC","max_instructions":40000}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	checkGolden(t, "grid.json.golden", body)
+
+	var grid gridResponse
+	if err := json.Unmarshal(body, &grid); err != nil {
+		t.Fatal(err)
+	}
+	// 1 build + 1 preprocess + 4 simulations.
+	if grid.Stats.Executed != 6 {
+		t.Errorf("grid executed %d jobs, want 6 (shared work item)", grid.Stats.Executed)
+	}
+}
+
+// TestBenchmarksGolden pins GET /v1/benchmarks.
+func TestBenchmarksGolden(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := do(t, "GET", ts.URL+"/v1/benchmarks", "")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	checkGolden(t, "benchmarks.json.golden", body)
+}
+
+// TestHealthz checks liveness (the stats block varies, so no golden).
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := do(t, "GET", ts.URL+"/v1/healthz", "")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	var health healthResponse
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Stats.Workers < 1 {
+		t.Errorf("health = %+v", health)
+	}
+}
+
+// TestMalformedRequests pins the 400 paths: invalid JSON, unknown fields,
+// structured validation errors, empty grids and wrong methods.
+func TestMalformedRequests(t *testing.T) {
+	ts := newTestServer(t)
+
+	status, body := do(t, "POST", ts.URL+"/v1/simulate", `{"bench":`)
+	if status != http.StatusBadRequest {
+		t.Errorf("truncated JSON: status = %d", status)
+	}
+	checkGolden(t, "malformed.json.golden", body)
+
+	status, body = do(t, "POST", ts.URL+"/v1/simulate", `{"bench":"nope","stages":-1,"policy":"SOMETIMES"}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("invalid fields: status = %d", status)
+	}
+	checkGolden(t, "invalid-fields.json.golden", body)
+	var errResp errorResponse
+	if err := json.Unmarshal(body, &errResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(errResp.Fields) != 3 {
+		t.Errorf("structured fields = %+v, want bench/stages/policy", errResp.Fields)
+	}
+
+	if status, _ := do(t, "POST", ts.URL+"/v1/simulate", `{"bench":"compress","stage":8}`); status != http.StatusBadRequest {
+		t.Errorf("unknown field (typo) accepted: status = %d", status)
+	}
+	if status, _ := do(t, "POST", ts.URL+"/v1/grid", `{"requests":[]}`); status != http.StatusBadRequest {
+		t.Errorf("empty grid: status = %d", status)
+	}
+	big := `{"requests":[` + strings.Repeat(`{"bench":"compress"},`, maxGridRequests) + `{"bench":"compress"}]}`
+	if status, _ := do(t, "POST", ts.URL+"/v1/grid", big); status != http.StatusBadRequest {
+		t.Errorf("oversized grid: status = %d", status)
+	}
+	huge := `{"bench":"` + strings.Repeat("x", maxBodyBytes) + `"}`
+	if status, _ := do(t, "POST", ts.URL+"/v1/simulate", huge); status != http.StatusBadRequest {
+		t.Errorf("oversized body: status = %d", status)
+	}
+	if status, _ := do(t, "GET", ts.URL+"/v1/simulate", ""); status != http.StatusMethodNotAllowed {
+		t.Errorf("GET simulate: status = %d", status)
+	}
+	if status, _ := do(t, "POST", ts.URL+"/v1/healthz", `{}`); status != http.StatusMethodNotAllowed {
+		t.Errorf("POST healthz: status = %d", status)
+	}
+}
+
+// TestServerMatchesFacade checks the acceptance-criteria parity: the cycle
+// count served over HTTP equals a direct facade run of the same request.
+func TestServerMatchesFacade(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := do(t, "POST", ts.URL+"/v1/simulate", `{"bench":"compress","stages":8,"policy":"ESYNC"}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	var served sim.Result
+	if err := json.Unmarshal(body, &served); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sim.NewSession().Run(context.Background(),
+		sim.Request{Bench: "compress", Stages: 8, Policy: sim.PolicyESync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Cycles == 0 || served.Cycles != direct.Cycles {
+		t.Errorf("served %d cycles, direct facade run %d", served.Cycles, direct.Cycles)
+	}
+}
+
+// TestConcurrentRequestsShareCache fires identical and overlapping requests
+// from many goroutines and checks they all succeed and the session cache
+// deduplicated the work.
+func TestConcurrentRequestsShareCache(t *testing.T) {
+	ts := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for i := 0; i < 16; i++ {
+		pol := []string{"ALWAYS", "SYNC", "ESYNC", "NEVER"}[i%4]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body := do(t, "POST", ts.URL+"/v1/simulate",
+				fmt.Sprintf(`{"bench":"sc","policy":%q,"max_instructions":30000}`, pol))
+			if status != http.StatusOK {
+				errs <- fmt.Sprintf("status %d: %s", status, body)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	_, body := do(t, "GET", ts.URL+"/v1/healthz", "")
+	var health healthResponse
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	// 1 build + 1 preprocess + 4 distinct simulations; the other 12 requests
+	// were deduplicated onto the cache.
+	if health.Stats.Executed != 6 {
+		t.Errorf("executed %d jobs for 16 overlapping requests, want 6", health.Stats.Executed)
+	}
+	if health.Stats.Hits == 0 {
+		t.Error("no cache hits recorded")
+	}
+}
+
+// TestGracefulShutdown starts a real server, opens an in-flight request,
+// then shuts down: the in-flight request must complete and the listener must
+// close.
+func TestGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: newHandler(sim.NewSession(sim.WithWorkers(2)))}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Wait until the server answers.
+	for i := 0; ; i++ {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if i > 100 {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Open an in-flight simulation (unbounded run: long enough to still be
+	// in flight when Shutdown begins).
+	inflight := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/simulate", "application/json",
+			strings.NewReader(`{"bench":"xlisp","policy":"ESYNC"}`))
+		if err != nil {
+			inflight <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			inflight <- fmt.Errorf("in-flight request got status %d", resp.StatusCode)
+			return
+		}
+		inflight <- nil
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-inflight; err != nil {
+		t.Errorf("in-flight request during shutdown: %v", err)
+	}
+	if err := <-served; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+	if _, err := http.Get(base + "/v1/healthz"); err == nil {
+		t.Error("listener still accepting connections after shutdown")
+	}
+}

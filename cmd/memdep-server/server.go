@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"memdep/sim"
+)
+
+// server serves the sim facade over HTTP/JSON.  All requests share one
+// session, so concurrent and repeated simulations hit the same memoized
+// cache, and every handler runs under the request context: a disconnected
+// client cancels its in-flight simulation.
+type server struct {
+	session *sim.Session
+}
+
+// errorResponse is the JSON shape of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Fields carries the per-field validation errors, when the failure is a
+	// malformed request.
+	Fields []sim.FieldError `json:"fields,omitempty"`
+}
+
+// gridRequest is the body of POST /v1/grid.
+type gridRequest struct {
+	Requests []sim.Request `json:"requests"`
+}
+
+// gridResponse is the response of POST /v1/grid.
+type gridResponse struct {
+	Results []*sim.Result `json:"results"`
+	// Stats snapshots the session cache after the grid ran.
+	Stats sim.Stats `json:"stats"`
+}
+
+// benchmarksResponse is the response of GET /v1/benchmarks.
+type benchmarksResponse struct {
+	Benchmarks []sim.Benchmark `json:"benchmarks"`
+}
+
+// healthResponse is the response of GET /v1/healthz.
+type healthResponse struct {
+	Status string    `json:"status"`
+	Stats  sim.Stats `json:"stats"`
+}
+
+// newHandler builds the route table.
+func newHandler(s *sim.Session) http.Handler {
+	srv := &server{session: s}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", srv.handleSimulate)
+	mux.HandleFunc("POST /v1/grid", srv.handleGrid)
+	mux.HandleFunc("GET /v1/benchmarks", srv.handleBenchmarks)
+	mux.HandleFunc("GET /v1/healthz", srv.handleHealthz)
+	return mux
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client is gone if this fails
+}
+
+// writeError maps an error to its HTTP shape: validation failures are 400s
+// with structured fields, cancellations mean the client has gone away, and
+// everything else is a 500.
+func writeError(w http.ResponseWriter, err error) {
+	var verr *sim.ValidationError
+	switch {
+	case errors.As(err, &verr):
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Fields: verr.Fields})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The request context died: the response writer is dead too, but
+		// flush a status for the tests and any proxy still listening.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+// maxBodyBytes bounds a request body; the largest legitimate payload (a full
+// grid of requests) is a few kilobytes, so 1 MiB is generous headroom while
+// keeping a hostile body from buffering unbounded memory.
+const maxBodyBytes = 1 << 20
+
+// maxGridRequests bounds one /v1/grid call; larger studies should be split
+// into several grids (they still share the session cache).
+const maxGridRequests = 1024
+
+// decodeBody decodes a JSON request body strictly: the size is capped and
+// unknown fields are rejected, so typos in configuration names fail loudly
+// instead of silently simulating the default.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("malformed request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+// handleSimulate runs one simulation: POST /v1/simulate {"bench": ...}.
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req sim.Request
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := s.session.Run(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleGrid runs a request grid as one job set: POST /v1/grid
+// {"requests": [...]}.
+func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	var req gridRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "invalid request: requests: at least one request is required",
+			Fields: []sim.FieldError{
+				{Field: "requests", Msg: "at least one request is required"},
+			},
+		})
+		return
+	}
+	if len(req.Requests) > maxGridRequests {
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("invalid request: requests: a grid is limited to %d requests", maxGridRequests),
+			Fields: []sim.FieldError{
+				{Field: "requests", Value: fmt.Sprint(len(req.Requests)),
+					Msg: fmt.Sprintf("a grid is limited to %d requests", maxGridRequests)},
+			},
+		})
+		return
+	}
+	results, err := s.session.RunGrid(r.Context(), req.Requests)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, gridResponse{Results: results, Stats: s.session.Stats()})
+}
+
+// handleBenchmarks lists the workload suite: GET /v1/benchmarks.
+func (s *server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, benchmarksResponse{Benchmarks: sim.Benchmarks()})
+}
+
+// handleHealthz reports liveness and the cache counters: GET /v1/healthz.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Stats: s.session.Stats()})
+}

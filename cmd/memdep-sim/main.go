@@ -1,5 +1,9 @@
-// Command memdep-sim runs a single benchmark on a single Multiscalar
-// configuration and prints the timing and dependence statistics.
+// Command memdep-sim runs one benchmark on one or more Multiscalar
+// configurations and prints the timing and dependence statistics.  It is a
+// thin client of the public facade (memdep/sim): flags map one-to-one onto
+// sim.Request fields, and a stage × policy grid becomes a single
+// sim.Session.RunGrid call that fans out over the -jobs worker pool with the
+// preprocessed work item shared by every simulation.
 //
 // Usage:
 //
@@ -7,142 +11,112 @@
 //	memdep-sim -bench 101.tomcatv -policy ALWAYS -max-instructions 200000
 //	memdep-sim -bench compress -stages 4,8 -policy ALWAYS,ESYNC  # grid, in parallel
 //	memdep-sim -list
-//
-// When -stages or -policy lists several values the full cross product is
-// submitted to the job engine as one job set and executed on -jobs workers;
-// the work item is preprocessed once and shared by every simulation.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
-	"memdep/internal/engine"
-	"memdep/internal/experiments"
-	"memdep/internal/memdep"
-	"memdep/internal/multiscalar"
-	"memdep/internal/policy"
-	"memdep/internal/program"
-	"memdep/internal/trace"
-	"memdep/internal/workload"
+	"memdep/sim"
 )
 
 func main() {
-	var (
-		bench    = flag.String("bench", "compress", "benchmark name")
-		list     = flag.Bool("list", false, "list benchmarks and exit")
-		stages   = flag.String("stages", "8", "number of processing units (comma-separated list for a grid)")
-		polName  = flag.String("policy", "ESYNC", "speculation policy (NEVER, ALWAYS, WAIT, PSYNC a.k.a. PERFECT-SYNC, SYNC, ESYNC; case-insensitive); comma-separated list for a grid")
-		scale    = flag.Int("scale", 0, "workload scale (0 = benchmark default)")
-		maxInstr = flag.Uint64("max-instructions", 0, "cap committed instructions (0 = unlimited)")
-		entries  = flag.Int("mdpt-entries", 64, "MDPT entries")
-		predName = flag.String("predictor", "full", "MDPT organization: \"full\" (fully associative), \"setassoc\" (set-associative, load-PC-indexed) or \"storeset\"")
-		ways     = flag.Int("mdpt-ways", 0, "associativity for the setassoc/storeset organizations (0 = default 4)")
-		topPairs = flag.Int("top-pairs", 5, "print the N most frequently mis-speculated static pairs")
-		jobs     = flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
-		core     = flag.String("core", "event", "timing-simulator run loop: \"event\" or the \"stepped\" reference (identical output)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	coreMode, err := multiscalar.ParseCoreMode(*core)
-	if err != nil {
-		fatal(err)
-	}
-	table, err := memdep.ParseTableKind(*predName)
-	if err != nil {
-		fatal(err)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("memdep-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		bench    = fs.String("bench", "compress", "benchmark name (see -list)")
+		list     = fs.Bool("list", false, "list the benchmarks of the synthetic suite and exit")
+		stages   = fs.String("stages", "8", "number of processing units; a comma-separated list runs the whole grid")
+		polName  = fs.String("policy", "ESYNC", "speculation policy (NEVER, ALWAYS, WAIT, PSYNC a.k.a. PERFECT-SYNC, SYNC, ESYNC; case-insensitive); a comma-separated list runs the whole grid")
+		scale    = fs.Int("scale", 0, "workload scale (0 = benchmark default)")
+		maxInstr = fs.Uint64("max-instructions", 0, "cap committed instructions (0 = unlimited)")
+		entries  = fs.Int("mdpt-entries", 64, "MDPT entries")
+		predName = fs.String("predictor", "full", "MDPT organization: \"full\" (fully associative), \"setassoc\" (set-associative, load-PC-indexed) or \"storeset\"")
+		ways     = fs.Int("mdpt-ways", 0, "associativity for the setassoc/storeset organizations (0 = default 4)")
+		topPairs = fs.Int("top-pairs", 5, "print the N most frequently mis-speculated static pairs")
+		jobs     = fs.Int("jobs", 0, "session worker-pool size for grid runs (0 = GOMAXPROCS)")
+		core     = fs.String("core", "event", "timing-simulator run loop: \"event\" or the \"stepped\" reference (identical output)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
 
 	if *list {
-		for _, name := range workload.Names() {
-			w := workload.MustGet(name)
-			fmt.Printf("%-14s (%s, default scale %d)\n", name, w.Suite, w.DefaultScale)
+		for _, b := range sim.Benchmarks() {
+			fmt.Fprintf(stdout, "%-14s (%s, default scale %d)\n", b.Name, b.Suite, b.DefaultScale)
 		}
-		return
+		return 0
 	}
 
-	wl, err := workload.Get(*bench)
-	if err != nil {
-		fatal(err)
-	}
 	stageList, err := parseStages(*stages)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	var pols []policy.Kind
+	var pols []sim.Policy
 	for _, p := range strings.Split(*polName, ",") {
-		pol, err := policy.Parse(strings.TrimSpace(p))
-		if err != nil {
-			fatal(err)
-		}
-		pols = append(pols, pol)
-	}
-	s := *scale
-	if s <= 0 {
-		s = wl.DefaultScale
+		pols = append(pols, sim.Policy(strings.TrimSpace(p)))
 	}
 
-	eng := experiments.NewEngine(*jobs)
-	progSpec := workload.BuildJob{Name: *bench, Scale: s}
-	itemSpec := multiscalar.PreprocessJob{
-		Program: progSpec,
-		Trace:   trace.Config{MaxInstructions: *maxInstr},
-	}
-
-	// Declare the stage × policy grid as one job set.
-	b := eng.NewBatch()
-	type run struct {
-		stages int
-		pol    policy.Kind
-		ref    engine.Ref
-	}
-	var runs []run
+	// Declare the stage × policy grid as one facade call.
+	var reqs []sim.Request
 	for _, st := range stageList {
 		for _, pol := range pols {
-			cfg := multiscalar.DefaultConfig(st, pol)
-			cfg.MemDep.Entries = *entries
-			cfg.MemDep.Table = table
-			cfg.MemDep.Ways = *ways
-			cfg.Core = coreMode
-			runs = append(runs, run{st, pol, b.Add(multiscalar.SimulateJob{Item: itemSpec, Config: cfg})})
+			reqs = append(reqs, sim.Request{
+				Bench:           *bench,
+				Stages:          st,
+				Policy:          pol,
+				Core:            sim.CoreMode(*core),
+				Scale:           *scale,
+				MaxInstructions: *maxInstr,
+				MDPTEntries:     *entries,
+				Predictor:       sim.TableKind(*predName),
+				MDPTWays:        *ways,
+			})
 		}
 	}
-	if err := b.Run(); err != nil {
-		fatal(err)
-	}
-	prog, err := engine.Resolve[*program.Program](eng, progSpec)
+	session := sim.NewSession(sim.WithWorkers(*jobs))
+	results, err := session.RunGrid(context.Background(), reqs)
 	if err != nil {
-		fatal(err)
-	}
-	item, err := engine.Resolve[*multiscalar.WorkItem](eng, itemSpec)
-	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
-	for i, rn := range runs {
+	for i, res := range results {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		res := engine.Get[multiscalar.Result](b, rn.ref)
-		// Report the effective geometry (defaults applied, ways clamped),
-		// not the raw flag values.
-		effMD := memdep.Config{Entries: *entries, Table: table, Ways: *ways}.Effective()
-		printResult(*bench, s, rn.stages, rn.pol, *entries, table, effMD.Ways, item, prog, res, *topPairs)
+		printResult(stdout, res, *topPairs)
 	}
-	if len(runs) > 1 {
-		fmt.Printf("\n[engine: %d workers, %d jobs executed, %d cache hits]\n",
-			eng.Workers(), eng.Executed(), eng.Hits())
+	if len(results) > 1 {
+		st := session.Stats()
+		fmt.Fprintf(stdout, "\n[engine: %d workers, %d jobs executed, %d cache hits]\n",
+			st.Workers, st.Executed, st.Hits)
 	}
+	return 0
 }
 
 func parseStages(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
+		if err != nil || n < 1 {
+			// Explicitly rejected rather than defaulted: the facade's
+			// zero-value default (8) differs from the old internal one (4),
+			// so a silent fallback would quietly simulate another machine.
 			return nil, fmt.Errorf("invalid -stages value %q", part)
 		}
 		out = append(out, n)
@@ -150,53 +124,48 @@ func parseStages(s string) ([]int, error) {
 	return out, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
-}
-
-func printResult(bench string, scale, stages int, pol policy.Kind, entries int,
-	table memdep.TableKind, ways int,
-	item *multiscalar.WorkItem, prog *program.Program, res multiscalar.Result, topPairs int) {
-	fmt.Printf("benchmark        %s (scale %d)\n", bench, scale)
-	cfgLine := fmt.Sprintf("%d stages, policy %v, %d MDPT entries", stages, pol, entries)
-	if table != memdep.TableFullAssoc {
-		cfgLine += fmt.Sprintf(", %s organization (%d ways)", table, ways)
+func printResult(w io.Writer, res *sim.Result, topPairs int) {
+	req := res.Request
+	fmt.Fprintf(w, "benchmark        %s (scale %d)\n", req.Bench, req.Scale)
+	cfgLine := fmt.Sprintf("%d stages, policy %v, %d MDPT entries", req.Stages, req.Policy, req.MDPTEntries)
+	if req.Predictor != sim.TableFullAssoc {
+		// The request echoes the effective geometry (defaults applied, ways
+		// clamped), not the raw flag values.
+		cfgLine += fmt.Sprintf(", %s organization (%d ways)", req.Predictor, req.MDPTWays)
 	}
-	fmt.Printf("configuration    %s\n", cfgLine)
-	fmt.Printf("instructions     %d (%d loads, %d stores, %d tasks, %.1f instr/task)\n",
-		res.Instructions, res.Loads, res.Stores, res.Tasks, item.AvgTaskSize())
-	fmt.Printf("cycles           %d\n", res.Cycles)
-	fmt.Printf("IPC              %.3f\n", res.IPC())
-	fmt.Printf("mis-speculations %d (%.4f per committed load)\n",
-		res.Misspeculations, res.MisspecsPerCommittedLoad())
-	fmt.Printf("squashes         %d (%d instructions of work discarded)\n",
+	fmt.Fprintf(w, "configuration    %s\n", cfgLine)
+	fmt.Fprintf(w, "instructions     %d (%d loads, %d stores, %d tasks, %.1f instr/task)\n",
+		res.Instructions, res.Loads, res.Stores, res.Tasks, res.AvgTaskSize)
+	fmt.Fprintf(w, "cycles           %d\n", res.Cycles)
+	fmt.Fprintf(w, "IPC              %.3f\n", res.IPC)
+	fmt.Fprintf(w, "mis-speculations %d (%.4f per committed load)\n",
+		res.Misspeculations, res.MisspecsPerLoad)
+	fmt.Fprintf(w, "squashes         %d (%d instructions of work discarded)\n",
 		res.Squashes, res.SquashedInstructions)
-	fmt.Printf("loads delayed    %d (%d cycles total, %d released without a signal)\n",
+	fmt.Fprintf(w, "loads delayed    %d (%d cycles total, %d released without a signal)\n",
 		res.LoadsWaited, res.WaitCycles, res.FalseDependenceReleases)
-	if pol.UsesPredictor() {
-		fmt.Printf("prediction breakdown (P/A %% of loads): N/N %.2f  N/Y %.2f  Y/N %.2f  Y/Y %.2f\n",
+	if res.UsesPredictor() {
+		fmt.Fprintf(w, "prediction breakdown (P/A %% of loads): N/N %.2f  N/Y %.2f  Y/N %.2f  Y/Y %.2f\n",
 			res.Breakdown.Percent(0, 0), res.Breakdown.Percent(0, 1),
 			res.Breakdown.Percent(1, 0), res.Breakdown.Percent(1, 1))
-		fmt.Printf("MDPT/MDST        %d mis-speculations learned, %d loads made to wait, %d released by stores\n",
+		fmt.Fprintf(w, "MDPT/MDST        %d mis-speculations learned, %d loads made to wait, %d released by stores\n",
 			res.MemDep.Misspeculations, res.MemDep.LoadsMadeToWait, res.MemDep.LoadsReleasedByStore)
 	}
-	fmt.Printf("memory           %d data accesses (%d misses), %d instruction misses, %d bus transfers\n",
+	fmt.Fprintf(w, "memory           %d data accesses (%d misses), %d instruction misses, %d bus transfers\n",
 		res.Cache.DataAccesses, res.Cache.DataMisses, res.Cache.InstrMisses, res.Cache.BusTransfers)
-	fmt.Printf("ARB              %d loads, %d stores, %d violations, %d bypasses (bank overflow)\n",
+	fmt.Fprintf(w, "ARB              %d loads, %d stores, %d violations, %d bypasses (bank overflow)\n",
 		res.ARB.Loads, res.ARB.Stores, res.ARB.Violations, res.ARBBypasses)
-	fmt.Printf("sequencer        %d dispatches, %d mispredictions (%.1f%% accuracy)\n",
+	fmt.Fprintf(w, "sequencer        %d dispatches, %d mispredictions (%.1f%% accuracy)\n",
 		res.Sequencer.TaskDispatches, res.Sequencer.Mispredictions, res.Sequencer.PredictorAcc*100)
 
 	if topPairs > 0 && len(res.MisspecPairs) > 0 {
-		fmt.Printf("hottest mis-speculated static pairs:\n")
-		for i, pc := range memdep.SortedPairCounts(res.MisspecPairs) {
+		fmt.Fprintf(w, "hottest mis-speculated static pairs:\n")
+		for i, pc := range res.MisspecPairs {
 			if i >= topPairs {
 				break
 			}
-			si, li := prog.Index(pc.Pair.StorePC), prog.Index(pc.Pair.LoadPC)
-			fmt.Printf("  %6d  store @%d (%s)  ->  load @%d (%s)\n",
-				pc.N, si, prog.Code[si], li, prog.Code[li])
+			fmt.Fprintf(w, "  %6d  store @%d (%s)  ->  load @%d (%s)\n",
+				pc.Count, pc.StoreIndex, pc.Store, pc.LoadIndex, pc.Load)
 		}
 	}
 }

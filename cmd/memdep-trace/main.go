@@ -1,7 +1,8 @@
-// Command memdep-trace inspects the synthetic workloads: it can disassemble a
-// benchmark, summarise its committed instruction stream, report its dynamic
-// task structure, and profile its memory dependences under the unrealistic
-// OOO window model of the paper's section 5.3.
+// Command memdep-trace inspects the synthetic workloads through the public
+// facade (memdep/sim): it can disassemble a benchmark, summarise its
+// committed instruction stream, report its dynamic task structure, and
+// profile its memory dependences under the unrealistic OOO window model of
+// the paper's section 5.3.
 //
 // Usage:
 //
@@ -12,148 +13,114 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"memdep/internal/engine"
-	"memdep/internal/experiments"
-	"memdep/internal/memdep"
-	"memdep/internal/program"
-	"memdep/internal/stats"
-	"memdep/internal/trace"
-	"memdep/internal/window"
-	"memdep/internal/workload"
+	"memdep/sim"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("memdep-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench    = flag.String("bench", "compress", "benchmark name")
-		mode     = flag.String("mode", "summary", "one of: summary, disasm, deps, tasks")
-		scale    = flag.Int("scale", 0, "workload scale (0 = benchmark default)")
-		maxInstr = flag.Uint64("max-instructions", 0, "cap committed instructions (0 = unlimited)")
-		ws       = flag.Int("window", 64, "window size for -mode deps")
-		top      = flag.Int("top", 10, "number of hottest dependences to print for -mode deps")
-		jobs     = flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+		bench    = fs.String("bench", "compress", "benchmark name")
+		mode     = fs.String("mode", "summary", "one of: summary, disasm, deps, tasks")
+		scale    = fs.Int("scale", 0, "workload scale (0 = benchmark default)")
+		maxInstr = fs.Uint64("max-instructions", 0, "cap committed instructions (0 = unlimited)")
+		ws       = fs.Int("window", 64, "window size for -mode deps")
+		top      = fs.Int("top", 10, "number of hottest dependences to print for -mode deps")
+		jobs     = fs.Int("jobs", 0, "session worker-pool size (0 = GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
-	wl, err := workload.Get(*bench)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	s := *scale
-	if s <= 0 {
-		s = wl.DefaultScale
-	}
-	traceCfg := trace.Config{MaxInstructions: *maxInstr}
-
-	// All inspection modes resolve their inputs through the job engine, so a
-	// shell loop over modes (or several benchmarks in future) shares programs
-	// and functional runs.
-	eng := experiments.NewEngine(*jobs)
-	progSpec := workload.BuildJob{Name: *bench, Scale: s}
-	prog, err := engine.Resolve[*program.Program](eng, progSpec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	// All inspection modes resolve their inputs through one session, so a
+	// shell loop over modes shares programs and functional runs via the
+	// session cache.
+	session := sim.NewSession(sim.WithWorkers(*jobs))
+	ctx := context.Background()
+	treq := sim.TraceRequest{Bench: *bench, Scale: *scale, MaxInstructions: *maxInstr}
 
 	switch *mode {
 	case "disasm":
-		fmt.Print(prog.Disassemble())
+		asm, err := session.Disassemble(ctx, treq)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprint(stdout, asm)
 
 	case "summary":
-		st, err := engine.Resolve[trace.Stats](eng, trace.RunJob{Program: progSpec, Config: traceCfg})
+		sum, err := session.Trace(ctx, treq)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Printf("benchmark     %s (%s)\n", wl.Name, wl.Suite)
-		fmt.Printf("description   %s\n", wl.Description)
-		fmt.Printf("static size   %d instructions, %d loads, %d stores\n",
-			prog.Len(), len(prog.StaticLoads()), len(prog.StaticStores()))
-		fmt.Printf("dynamic size  %d instructions (%d loads, %d stores, %d branches)\n",
-			st.Instructions, st.Loads, st.Stores, st.Branches)
-		fmt.Printf("tasks         %d (%.1f instructions per task)\n",
-			st.Tasks, float64(st.Instructions)/float64(st.Tasks))
+		fmt.Fprintf(stdout, "benchmark     %s (%s)\n", sum.Bench, sum.Suite)
+		fmt.Fprintf(stdout, "description   %s\n", sum.Description)
+		fmt.Fprintf(stdout, "static size   %d instructions, %d loads, %d stores\n",
+			sum.StaticInstructions, sum.StaticLoads, sum.StaticStores)
+		fmt.Fprintf(stdout, "dynamic size  %d instructions (%d loads, %d stores, %d branches)\n",
+			sum.Instructions, sum.Loads, sum.Stores, sum.Branches)
+		fmt.Fprintf(stdout, "tasks         %d (%.1f instructions per task)\n",
+			sum.Tasks, sum.AvgTaskSize())
 
 	case "tasks":
-		sizes := map[uint64]uint64{}
-		var current uint64
-		var count uint64
-		_, err := trace.Run(prog, traceCfg, func(d trace.DynInst) bool {
-			if d.TaskStart && count > 0 {
-				sizes[current] = count
-				count = 0
-			}
-			current = d.TaskID
-			count++
-			return true
-		})
+		hist, err := session.TaskSizes(ctx, treq)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		if count > 0 {
-			sizes[current] = count
+		t := sim.NewTable(fmt.Sprintf("dynamic task sizes for %s", *bench), "size", "tasks")
+		for _, b := range hist {
+			t.AddRow(b.Label, fmt.Sprint(b.Tasks))
 		}
-		hist := map[string]int{}
-		buckets := []struct {
-			label string
-			max   uint64
-		}{
-			{"1-16", 16}, {"17-32", 32}, {"33-64", 64}, {"65-128", 128},
-			{"129-256", 256}, {"257-512", 512}, {"513+", ^uint64(0)},
-		}
-		for _, n := range sizes {
-			for _, b := range buckets {
-				if n <= b.max {
-					hist[b.label]++
-					break
-				}
-			}
-		}
-		t := stats.NewTable(fmt.Sprintf("dynamic task sizes for %s", wl.Name), "size", "tasks")
-		for _, b := range buckets {
-			t.AddRow(b.label, fmt.Sprint(hist[b.label]))
-		}
-		fmt.Print(t.Render())
+		fmt.Fprint(stdout, t.Render())
 
 	case "deps":
-		results, err := engine.Resolve[[]window.Result](eng, window.AnalyzeJob{
-			Program: progSpec,
-			Config: window.Config{
-				WindowSizes: []int{*ws},
-				DDCSizes:    window.DefaultDDCSizes(),
-				Trace:       traceCfg,
-			},
+		results, err := session.Window(ctx, sim.WindowRequest{
+			Bench:           *bench,
+			Scale:           *scale,
+			MaxInstructions: *maxInstr,
+			WindowSizes:     []int{*ws},
+			DDCSizes:        sim.DefaultDDCSizes(),
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		res := results[0]
-		fmt.Printf("window size %d: %d loads, %d worst-case mis-speculations (%.4f per load)\n",
-			res.WindowSize, res.Loads, res.Misspeculations, res.MisspecRate())
-		fmt.Printf("static dependences: %d total, %d cover 99.9%% of mis-speculations\n",
+		fmt.Fprintf(stdout, "window size %d: %d loads, %d worst-case mis-speculations (%.4f per load)\n",
+			res.WindowSize, res.Loads, res.Misspeculations, res.MisspecsPerLoad)
+		fmt.Fprintf(stdout, "static dependences: %d total, %d cover 99.9%% of mis-speculations\n",
 			res.StaticPairs, res.PairsForCoverage)
-		for _, cs := range window.DefaultDDCSizes() {
-			fmt.Printf("DDC %4d entries: %.2f%% miss rate\n", cs, res.DDCMissRate[cs])
+		for _, cs := range sim.DefaultDDCSizes() {
+			fmt.Fprintf(stdout, "DDC %4d entries: %.2f%% miss rate\n", cs, res.DDCMissRate[cs])
 		}
-		fmt.Println("hottest static dependences:")
-		for i, pc := range memdep.SortedPairCounts(res.PairCounts) {
+		fmt.Fprintln(stdout, "hottest static dependences:")
+		for i, pc := range res.Pairs {
 			if i >= *top {
 				break
 			}
-			si, li := prog.Index(pc.Pair.StorePC), prog.Index(pc.Pair.LoadPC)
-			fmt.Printf("  %7d  store @%d (%s)  ->  load @%d (%s)\n",
-				pc.N, si, prog.Code[si], li, prog.Code[li])
+			fmt.Fprintf(stdout, "  %7d  store @%d (%s)  ->  load @%d (%s)\n",
+				pc.Count, pc.StoreIndex, pc.Store, pc.LoadIndex, pc.Load)
 		}
 
 	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q (want summary, disasm, deps or tasks)\n", *mode)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "unknown mode %q (want summary, disasm, deps or tasks)\n", *mode)
+		return 1
 	}
+	return 0
 }

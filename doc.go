@@ -2,7 +2,11 @@
 // Synchronization of Data Dependences" (Moshovos, Breach, Vijaykumar, Sohi;
 // ISCA 1997).
 //
-// The library lives under internal/: the MDPT/MDST dependence prediction and
+// The public API is the sim package (memdep/sim): a JSON-serializable
+// request/response facade over the whole toolbox, consumed by the four CLIs,
+// the examples and the cmd/memdep-server HTTP service.
+//
+// The implementation lives under internal/: the MDPT/MDST dependence prediction and
 // synchronization structures (internal/memdep), the synthetic workload suite
 // and its ISA (internal/isa, internal/program, internal/workload), the
 // functional simulator (internal/trace), the unrealistic OOO window model

@@ -1,89 +1,71 @@
 // Policycompare reproduces, for a single benchmark, the policy comparison of
 // Figures 5 and 6 of the paper: NEVER, ALWAYS (blind), WAIT (selective),
 // PSYNC (ideal), and the MDPT/MDST mechanism with the SYNC and ESYNC
-// predictors, on 4- and 8-stage Multiscalar processors.
+// predictors, on 4- and 8-stage Multiscalar processors -- as one grid
+// request against the public facade (memdep/sim).
 //
-// The whole stage × policy grid is declared as one job set and executed in
-// parallel on the -jobs worker pool; the preprocessed work item is shared by
-// all twelve simulations.
+// The whole stage × policy grid executes in parallel on the -jobs worker
+// pool; the preprocessed work item is shared by all twelve simulations
+// through the session cache.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"memdep/internal/engine"
-	"memdep/internal/experiments"
-	"memdep/internal/multiscalar"
-	"memdep/internal/policy"
-	"memdep/internal/stats"
-	"memdep/internal/trace"
-	"memdep/internal/workload"
+	"memdep/sim"
 )
 
 func main() {
 	bench := flag.String("bench", "sc", "benchmark to compare policies on")
 	maxInstr := flag.Uint64("max-instructions", 150_000, "cap on committed instructions")
-	jobs := flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	jobs := flag.Int("jobs", 0, "session worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	wl, err := workload.Get(*bench)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	eng := experiments.NewEngine(*jobs)
-	itemSpec := multiscalar.PreprocessJob{
-		Program: workload.BuildJob{Name: wl.Name, Scale: wl.DefaultScale},
-		Trace:   trace.Config{MaxInstructions: *maxInstr},
-	}
+	session := sim.NewSession(sim.WithWorkers(*jobs))
 
 	// Declare the full grid before running anything.
-	b := eng.NewBatch()
-	type run struct {
-		stages int
-		pol    policy.Kind
-		ref    engine.Ref
-	}
-	var runs []run
+	var reqs []sim.Request
 	for _, stages := range []int{4, 8} {
-		for _, pol := range policy.All() {
-			ref := b.Add(multiscalar.SimulateJob{Item: itemSpec, Config: multiscalar.DefaultConfig(stages, pol)})
-			runs = append(runs, run{stages, pol, ref})
+		for _, pol := range sim.Policies() {
+			reqs = append(reqs, sim.Request{
+				Bench:           *bench,
+				Stages:          stages,
+				Policy:          pol,
+				MaxInstructions: *maxInstr,
+			})
 		}
 	}
-	if err := b.Run(); err != nil {
-		log.Fatal(err)
-	}
-	item, err := engine.Resolve[*multiscalar.WorkItem](eng, itemSpec)
+	results, err := session.RunGrid(context.Background(), reqs)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	table := stats.NewTable(
-		fmt.Sprintf("Dependence speculation policies on %s (%d instructions)", wl.Name, item.Instructions),
+	table := sim.NewTable(
+		fmt.Sprintf("Dependence speculation policies on %s (%d instructions)", *bench, results[0].Instructions),
 		"stages", "policy", "IPC", "speedup vs NEVER", "misspec/load", "loads delayed")
 
-	var never multiscalar.Result
-	for _, rn := range runs {
-		res := engine.Get[multiscalar.Result](b, rn.ref)
-		if rn.pol == policy.Never {
+	var never *sim.Result
+	for _, res := range results {
+		if res.Request.Policy == sim.PolicyNever {
 			never = res
 		}
 		table.AddRow(
-			fmt.Sprint(rn.stages),
-			rn.pol.String(),
-			stats.FormatFloat(res.IPC(), 2),
-			stats.FormatSpeedup(res.SpeedupOver(never)),
-			stats.FormatFloat(res.MisspecsPerCommittedLoad(), 4),
+			fmt.Sprint(res.Request.Stages),
+			res.Request.Policy.String(),
+			fmt.Sprintf("%.2f", res.IPC),
+			fmt.Sprintf("%+.1f%%", res.SpeedupOver(never)),
+			fmt.Sprintf("%.4f", res.MisspecsPerLoad),
 			fmt.Sprint(res.LoadsWaited),
 		)
 	}
 	fmt.Print(table.Render())
-	fmt.Printf("\n[engine: %d workers, %d jobs executed]\n", eng.Workers(), eng.Executed())
+	st := session.Stats()
+	fmt.Printf("\n[engine: %d workers, %d jobs executed]\n", st.Workers, st.Executed)
 	fmt.Println("\nPolicy descriptions:")
-	for _, pol := range policy.All() {
+	for _, pol := range sim.Policies() {
 		fmt.Printf("  %-7s %s\n", pol, pol.Description())
 	}
 }

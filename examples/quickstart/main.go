@@ -1,73 +1,58 @@
-// Quickstart: build a synthetic benchmark, run it functionally, then compare
-// blind data dependence speculation (ALWAYS) against the paper's
+// Quickstart: inspect a synthetic benchmark, then compare blind data
+// dependence speculation (ALWAYS) against the paper's
 // prediction/synchronization mechanism (ESYNC) on an 8-stage Multiscalar
-// processor.
+// processor -- entirely through the public facade (memdep/sim).
 //
-// Everything runs through the job engine: the program build, the functional
-// run and the two timing simulations are declared as jobs, the two
-// simulations execute in parallel on the -jobs worker pool, and the
-// preprocessed work item is computed once and shared by both.
+// The two timing simulations are submitted as one grid: they execute in
+// parallel on the -jobs worker pool and share the preprocessed work item
+// through the session cache.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"memdep/internal/engine"
-	"memdep/internal/experiments"
-	"memdep/internal/multiscalar"
-	"memdep/internal/policy"
-	"memdep/internal/program"
-	"memdep/internal/trace"
-	"memdep/internal/workload"
+	"memdep/sim"
 )
 
 func main() {
-	jobs := flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	jobs := flag.Int("jobs", 0, "session worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	// experiments.NewEngine wires every evaluation layer's simulator into
-	// the engine (program build, functional trace, window analysis,
-	// Multiscalar preprocess + simulate).
-	eng := experiments.NewEngine(*jobs)
+	// A session wraps the job engine with every evaluation layer registered;
+	// all calls below share its memoized cache.
+	session := sim.NewSession(sim.WithWorkers(*jobs))
+	ctx := context.Background()
 
-	// 1. Pick a benchmark from the synthetic suite; the build job resolves to
-	// its program.
-	wl := workload.MustGet("compress")
-	progSpec := workload.BuildJob{Name: wl.Name}
-	prog, err := engine.Resolve[*program.Program](eng, progSpec)
+	// 1. Pick a benchmark from the synthetic suite and run it on the
+	// functional simulator to see what it does.
+	sum, err := session.Trace(ctx, sim.TraceRequest{Bench: "compress"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("benchmark %s: %d static instructions\n", wl.Name, prog.Len())
-
-	// 2. Run it on the functional simulator to see what it does.
-	st, err := engine.Resolve[trace.Stats](eng, trace.RunJob{Program: progSpec})
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("benchmark %s: %d static instructions\n", sum.Bench, sum.StaticInstructions)
 	fmt.Printf("functional run: %d instructions, %d loads, %d stores, %d tasks\n",
-		st.Instructions, st.Loads, st.Stores, st.Tasks)
+		sum.Instructions, sum.Loads, sum.Stores, sum.Tasks)
 
-	// 3. Declare the two timing simulations -- blind speculation and the
-	// MDPT/MDST mechanism with the ESYNC predictor -- as one job set.  The
-	// preprocessing job they share runs once.
-	itemSpec := multiscalar.PreprocessJob{Program: progSpec}
-	b := eng.NewBatch()
-	alwaysRef := b.Add(multiscalar.SimulateJob{Item: itemSpec, Config: multiscalar.DefaultConfig(8, policy.Always)})
-	esyncRef := b.Add(multiscalar.SimulateJob{Item: itemSpec, Config: multiscalar.DefaultConfig(8, policy.ESync)})
-	if err := b.Run(); err != nil {
+	// 2. Declare the two timing simulations -- blind speculation and the
+	// MDPT/MDST mechanism with the ESYNC predictor -- as one grid.
+	results, err := session.RunGrid(ctx, []sim.Request{
+		{Bench: "compress", Stages: 8, Policy: sim.PolicyAlways},
+		{Bench: "compress", Stages: 8, Policy: sim.PolicyESync},
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
-	always := engine.Get[multiscalar.Result](b, alwaysRef)
-	esync := engine.Get[multiscalar.Result](b, esyncRef)
+	always, esync := results[0], results[1]
 
 	fmt.Printf("\n%-22s %12s %12s\n", "", "ALWAYS", "ESYNC")
 	fmt.Printf("%-22s %12d %12d\n", "cycles", always.Cycles, esync.Cycles)
-	fmt.Printf("%-22s %12.2f %12.2f\n", "IPC", always.IPC(), esync.IPC())
+	fmt.Printf("%-22s %12.2f %12.2f\n", "IPC", always.IPC, esync.IPC)
 	fmt.Printf("%-22s %12d %12d\n", "mis-speculations", always.Misspeculations, esync.Misspeculations)
 	fmt.Printf("%-22s %12d %12d\n", "work squashed (instr)", always.SquashedInstructions, esync.SquashedInstructions)
 	fmt.Printf("\nESYNC speedup over blind speculation: %+.1f%%\n", esync.SpeedupOver(always))
-	fmt.Printf("[engine: %d workers, %d jobs executed]\n", eng.Workers(), eng.Executed())
+	st := session.Stats()
+	fmt.Printf("[engine: %d workers, %d jobs executed]\n", st.Workers, st.Executed)
 }

@@ -1,31 +1,29 @@
 // Windowstudy reproduces the dependence-behaviour characterisation of
-// section 5.3 of the paper (Tables 3-5) for one or more benchmarks: how the
-// number of worst-case mis-speculations grows with the instruction window,
-// how few static store→load pairs account for them, and how well small data
-// dependence caches capture those pairs.
+// section 5.3 of the paper (Tables 3-5) for one or more benchmarks through
+// the public facade (memdep/sim): how the number of worst-case
+// mis-speculations grows with the instruction window, how few static
+// store→load pairs account for them, and how well small data dependence
+// caches capture those pairs.
 //
-// Each benchmark's analysis is one engine job; with several -bench values
-// (comma-separated) the analyses run in parallel on the -jobs worker pool.
+// With several -bench values (comma-separated) the analyses are one
+// WindowGrid call: they run in parallel on the -jobs worker pool and are
+// memoized, so repeating a benchmark costs one functional run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"strings"
 
-	"memdep/internal/engine"
-	"memdep/internal/experiments"
-	"memdep/internal/stats"
-	"memdep/internal/trace"
-	"memdep/internal/window"
-	"memdep/internal/workload"
+	"memdep/sim"
 )
 
 func main() {
 	bench := flag.String("bench", "compress", "benchmark(s) to analyse, comma-separated")
 	maxInstr := flag.Uint64("max-instructions", 300_000, "cap on committed instructions")
-	jobs := flag.Int("jobs", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	jobs := flag.Int("jobs", 0, "session worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var names []string
@@ -33,43 +31,40 @@ func main() {
 		names = append(names, strings.TrimSpace(n))
 	}
 
-	eng := experiments.NewEngine(*jobs)
+	session := sim.NewSession(sim.WithWorkers(*jobs))
 
-	b := eng.NewBatch()
-	refs := make([]engine.Ref, len(names))
+	// Declare every benchmark's analysis up front; the grid fans out over
+	// the worker pool.
+	reqs := make([]sim.WindowRequest, len(names))
 	for i, name := range names {
-		if _, err := workload.Get(name); err != nil {
-			log.Fatal(err)
+		reqs[i] = sim.WindowRequest{
+			Bench:           name,
+			MaxInstructions: *maxInstr,
+			WindowSizes:     sim.DefaultWindowSizes(),
+			DDCSizes:        sim.DefaultDDCSizes(),
 		}
-		refs[i] = b.Add(window.AnalyzeJob{
-			Program: workload.BuildJob{Name: name},
-			Config: window.Config{
-				WindowSizes: window.DefaultWindowSizes(),
-				DDCSizes:    window.DefaultDDCSizes(),
-				Trace:       trace.Config{MaxInstructions: *maxInstr},
-			},
-		})
 	}
-	if err := b.Run(); err != nil {
+	grids, err := session.WindowGrid(context.Background(), reqs)
+	if err != nil {
 		log.Fatal(err)
 	}
 
 	for i, name := range names {
-		results := engine.Get[[]window.Result](b, refs[i])
-		table := stats.NewTable(
+		results := grids[i]
+		table := sim.NewTable(
 			fmt.Sprintf("Unrealistic OOO model: memory dependence behaviour of %s", name),
 			"window", "misspecs", "misspec/load", "static pairs", "pairs for 99.9%",
 			"DDC-32 miss%", "DDC-128 miss%", "DDC-512 miss%")
 		for _, r := range results {
 			table.AddRow(
 				fmt.Sprint(r.WindowSize),
-				stats.FormatCount(r.Misspeculations),
-				stats.FormatFloat(r.MisspecRate(), 4),
+				fmt.Sprint(r.Misspeculations),
+				fmt.Sprintf("%.4f", r.MisspecsPerLoad),
 				fmt.Sprint(r.StaticPairs),
 				fmt.Sprint(r.PairsForCoverage),
-				stats.FormatPercent(r.DDCMissRate[32]),
-				stats.FormatPercent(r.DDCMissRate[128]),
-				stats.FormatPercent(r.DDCMissRate[512]),
+				fmt.Sprintf("%.2f", r.DDCMissRate[32]),
+				fmt.Sprintf("%.2f", r.DDCMissRate[128]),
+				fmt.Sprintf("%.2f", r.DDCMissRate[512]),
 			)
 		}
 		fmt.Print(table.Render())

@@ -1,6 +1,7 @@
 package memdep_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -121,11 +122,11 @@ func TestExperimentTablesRenderAndAgree(t *testing.T) {
 	}
 	render := func() (string, string) {
 		r := experiments.NewRunner(experiments.Quick())
-		t6, err := r.Table6MultiscalarMisspec()
+		t6, err := r.Table6MultiscalarMisspec(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		f6, err := r.Figure6MechanismSpeedup()
+		f6, err := r.Figure6MechanismSpeedup(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

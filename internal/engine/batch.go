@@ -1,5 +1,7 @@
 package engine
 
+import "context"
+
 // Ref is a handle into a Batch: Add returns one, Result and Get accept one
 // after the batch has run.
 type Ref int
@@ -38,9 +40,10 @@ func (b *Batch) Add(spec Spec) Ref {
 // Len returns the number of distinct jobs in the set.
 func (b *Batch) Len() int { return len(b.specs) }
 
-// Run executes the job set on the engine's worker pool.
-func (b *Batch) Run() error {
-	results, err := b.eng.Run(b.specs)
+// Run executes the job set on the engine's worker pool.  Cancelling the
+// context aborts the set (see Engine.Run).
+func (b *Batch) Run(ctx context.Context) error {
+	results, err := b.eng.Run(ctx, b.specs)
 	b.results = results
 	return err
 }

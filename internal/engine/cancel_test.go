@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blockSpec is a job that blocks until the test releases it (or the context
+// is cancelled, if the job honours it).
+type blockSpec struct {
+	id        string
+	honourCtx bool
+}
+
+func (blockSpec) JobKind() string    { return "test/block" }
+func (s blockSpec) CacheKey() string { return s.id }
+
+type blockSim struct {
+	started  chan string
+	release  chan struct{}
+	computed atomic.Uint64
+}
+
+func (*blockSim) JobKind() string { return "test/block" }
+
+func (s *blockSim) Simulate(ctx context.Context, _ *Engine, spec Spec) (any, error) {
+	job := spec.(blockSpec)
+	s.computed.Add(1)
+	s.started <- job.id
+	if job.honourCtx {
+		select {
+		case <-s.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	} else {
+		<-s.release
+	}
+	return job.id, nil
+}
+
+func newBlockEngine(workers int) (*Engine, *blockSim) {
+	e := New(workers)
+	sim := &blockSim{started: make(chan string, 64), release: make(chan struct{})}
+	e.Register(sim)
+	return e, sim
+}
+
+// TestRunAbortsOnCancellation checks the job-set contract: after the context
+// is cancelled no new jobs are dispatched, the workers drain the jobs they
+// already started, and the undispatched slots report ctx.Err().
+func TestRunAbortsOnCancellation(t *testing.T) {
+	e, sim := newBlockEngine(2)
+	specs := make([]Spec, 16)
+	for i := range specs {
+		specs[i] = blockSpec{id: fmt.Sprintf("j%02d", i)}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan struct{})
+	var results []any
+	var runErr error
+	go func() {
+		defer close(done)
+		results, runErr = e.Run(ctx, specs)
+	}()
+
+	// Wait for both workers to start a job, then cancel the set and let the
+	// in-flight jobs finish.
+	<-sim.started
+	<-sim.started
+	cancel()
+	close(sim.release)
+	<-done
+
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", runErr)
+	}
+	// The two in-flight jobs drained to completion; nothing else started.
+	if n := sim.computed.Load(); n != 2 {
+		t.Errorf("computed %d jobs after cancellation, want the 2 in-flight ones", n)
+	}
+	completed := 0
+	for _, r := range results {
+		if r != nil {
+			completed++
+		}
+	}
+	if completed != 2 {
+		t.Errorf("%d results filled in, want 2 (the drained jobs)", completed)
+	}
+}
+
+// TestDoWaiterUnblocksOnCancellation checks that a caller waiting on another
+// caller's in-flight computation returns its own ctx.Err() immediately, while
+// the computation itself finishes and is cached.
+func TestDoWaiterUnblocksOnCancellation(t *testing.T) {
+	e, sim := newBlockEngine(1)
+	spec := blockSpec{id: "shared"}
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := e.Do(context.Background(), spec)
+		first <- err
+	}()
+	<-sim.started // the computation is in flight
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiter := make(chan error, 1)
+	go func() {
+		_, err := e.Do(ctx, spec)
+		waiter <- err
+	}()
+	// Give the waiter time to join the in-flight call, then cancel only it.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-waiter:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not unblock")
+	}
+
+	// The computation itself is unaffected.
+	close(sim.release)
+	if err := <-first; err != nil {
+		t.Fatalf("computing caller failed: %v", err)
+	}
+	if v, err := e.Do(context.Background(), spec); err != nil || v != "shared" {
+		t.Fatalf("cached result = %v, %v", v, err)
+	}
+	if n := sim.computed.Load(); n != 1 {
+		t.Errorf("computed %d times, want 1", n)
+	}
+}
+
+// TestWaiterWithLiveContextRetriesCancelledComputation checks the converse
+// of the waiter-cancellation case: when the COMPUTING caller's context dies,
+// a waiter whose own context is live must not inherit the cancellation -- it
+// retries the (evicted) job and gets a real result.
+func TestWaiterWithLiveContextRetriesCancelledComputation(t *testing.T) {
+	e, sim := newBlockEngine(1)
+	spec := blockSpec{id: "steal", honourCtx: true}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	first := make(chan error, 1)
+	go func() {
+		_, err := e.Do(ctxA, spec)
+		first <- err
+	}()
+	<-sim.started // A is computing
+
+	second := make(chan error, 1)
+	var secondVal any
+	go func() {
+		v, err := e.Do(context.Background(), spec)
+		secondVal = v
+		second <- err
+	}()
+	// Give B time to join A's in-flight call, then kill only A.
+	time.Sleep(10 * time.Millisecond)
+	cancelA()
+	if err := <-first; !errors.Is(err, context.Canceled) {
+		t.Fatalf("computing caller error = %v, want context.Canceled", err)
+	}
+
+	// B must have retried: its recomputation starts and, once released,
+	// produces the real value.
+	select {
+	case <-sim.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never retried the cancelled job")
+	}
+	close(sim.release)
+	if err := <-second; err != nil {
+		t.Fatalf("live waiter inherited an error: %v", err)
+	}
+	if secondVal != "steal" {
+		t.Fatalf("live waiter got %v, want the recomputed value", secondVal)
+	}
+	if n := sim.computed.Load(); n != 2 {
+		t.Errorf("computed %d times, want 2 (cancelled + retried)", n)
+	}
+}
+
+// TestCancellationErrorsAreNotMemoized checks that a job aborted by its
+// context is evicted from the cache: a later caller with a live context
+// recomputes it instead of inheriting the stale cancellation error.
+func TestCancellationErrorsAreNotMemoized(t *testing.T) {
+	e, sim := newBlockEngine(1)
+	spec := blockSpec{id: "retry", honourCtx: true}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.Do(ctx, spec)
+		errc <- err
+	}()
+	<-sim.started
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first call error = %v, want context.Canceled", err)
+	}
+	if n := e.CacheLen(); n != 0 {
+		t.Fatalf("cancelled job left %d cache entries, want 0", n)
+	}
+
+	// A fresh caller recomputes and succeeds.
+	close(sim.release)
+	go func() { <-sim.started }() // drain the second start notification
+	v, err := e.Do(context.Background(), spec)
+	if err != nil || v != "retry" {
+		t.Fatalf("recomputed result = %v, %v", v, err)
+	}
+	if n := sim.computed.Load(); n != 2 {
+		t.Errorf("computed %d times, want 2 (cancelled + retried)", n)
+	}
+}
+
+// TestDoRejectsDeadContext checks the fast path: a context that is already
+// cancelled never schedules (or counts) a job.
+func TestDoRejectsDeadContext(t *testing.T) {
+	e, sim := newBlockEngine(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Do(ctx, blockSpec{id: "never"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if n := sim.computed.Load(); n != 0 {
+		t.Errorf("dead-context Do computed %d jobs, want 0", n)
+	}
+	if e.CacheLen() != 0 {
+		t.Error("dead-context Do left a cache entry")
+	}
+}

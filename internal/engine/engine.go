@@ -27,6 +27,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -54,8 +56,10 @@ type Simulator interface {
 	// JobKind returns the kind this simulator handles.
 	JobKind() string
 	// Simulate executes the job.  The engine is passed in so the job can
-	// resolve dependency specs through eng.Do (memoized and re-entrant).
-	Simulate(eng *Engine, spec Spec) (any, error)
+	// resolve dependency specs through eng.Do (memoized and re-entrant); the
+	// context is the caller's and long-running simulations should abort with
+	// ctx.Err() when it is cancelled.
+	Simulate(ctx context.Context, eng *Engine, spec Spec) (any, error)
 }
 
 // Key returns the engine-wide cache key of a spec.
@@ -124,16 +128,41 @@ func (e *Engine) CacheLen() int {
 
 // Do executes one job, memoized: the first caller computes it inline, and
 // every other caller -- concurrent or later -- shares that result.  Errors
-// are memoized like values.  Do is re-entrant: a running job may call Do to
-// resolve its dependencies.
-func (e *Engine) Do(spec Spec) (any, error) {
+// are memoized like values, with one exception: a job that aborts with the
+// context's cancellation error is evicted from the cache, so a later call
+// with a live context recomputes it instead of inheriting a stale
+// cancellation.  Do is re-entrant: a running job may call Do to resolve its
+// dependencies.  A caller whose context is cancelled while it waits on
+// another caller's in-flight computation returns ctx.Err() immediately; the
+// computation itself keeps running and is cached for future callers.  The
+// converse also holds: a waiter with a live context never inherits the
+// computing caller's cancellation -- it retries the evicted job instead.
+func (e *Engine) Do(ctx context.Context, spec Spec) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	k := Key(spec)
 	e.mu.Lock()
-	if c, ok := e.calls[k]; ok {
+	for {
+		c, ok := e.calls[k]
+		if !ok {
+			break
+		}
 		e.mu.Unlock()
 		e.hits.Add(1)
-		<-c.done
-		return c.val, c.err
+		select {
+		case <-c.done:
+			if isCancellation(c.err) && ctx.Err() == nil {
+				// The computing caller's context died, not ours.  The dying
+				// entry was evicted before done closed, so loop and either
+				// join a fresh computation or start one.
+				e.mu.Lock()
+				continue
+			}
+			return c.val, c.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	sim, ok := e.sims[spec.JobKind()]
 	if !ok {
@@ -150,12 +179,25 @@ func (e *Engine) Do(spec Spec) (any, error) {
 				c.val = nil
 				c.err = fmt.Errorf("engine: %s job %q panicked: %v", spec.JobKind(), spec.CacheKey(), p)
 			}
-			close(c.done)
 		}()
-		c.val, c.err = sim.Simulate(e, spec)
+		c.val, c.err = sim.Simulate(ctx, e, spec)
 	}()
+	if isCancellation(c.err) {
+		// Evict before waking waiters so no caller -- new or currently
+		// blocked on done -- can read one request's cancellation as its own
+		// failure; blocked waiters with live contexts retry above.
+		e.mu.Lock()
+		delete(e.calls, k)
+		e.mu.Unlock()
+	}
+	close(c.done)
 	e.executed.Add(1)
 	return c.val, c.err
+}
+
+// isCancellation reports whether err is a context cancellation or deadline.
+func isCancellation(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 // Run executes a job set on the worker pool and returns the results
@@ -164,7 +206,11 @@ func (e *Engine) Do(spec Spec) (any, error) {
 // job fails, Run returns the error of the smallest failing index (so the
 // reported error is deterministic too); the results of successful jobs are
 // still filled in.
-func (e *Engine) Run(specs []Spec) ([]any, error) {
+//
+// Cancelling the context aborts the set: no further jobs are dispatched,
+// workers drain the jobs they already started, and every undispatched (or
+// cancellation-aborted) slot reports ctx.Err().
+func (e *Engine) Run(ctx context.Context, specs []Spec) ([]any, error) {
 	results := make([]any, len(specs))
 	errs := make([]error, len(specs))
 	workers := e.workers
@@ -173,7 +219,7 @@ func (e *Engine) Run(specs []Spec) ([]any, error) {
 	}
 	if workers <= 1 {
 		for i, s := range specs {
-			results[i], errs[i] = e.Do(s)
+			results[i], errs[i] = e.Do(ctx, s)
 		}
 	} else {
 		idx := make(chan int)
@@ -183,12 +229,20 @@ func (e *Engine) Run(specs []Spec) ([]any, error) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i], errs[i] = e.Do(specs[i])
+					results[i], errs[i] = e.Do(ctx, specs[i])
 				}
 			}()
 		}
+	dispatch:
 		for i := range specs {
-			idx <- i
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				for j := i; j < len(specs); j++ {
+					errs[j] = ctx.Err()
+				}
+				break dispatch
+			}
 		}
 		close(idx)
 		wg.Wait()
@@ -202,8 +256,8 @@ func (e *Engine) Run(specs []Spec) ([]any, error) {
 }
 
 // Resolve runs one job through the memoized Do and asserts its result type.
-func Resolve[T any](e *Engine, spec Spec) (T, error) {
-	v, err := e.Do(spec)
+func Resolve[T any](ctx context.Context, e *Engine, spec Spec) (T, error) {
+	v, err := e.Do(ctx, spec)
 	if err != nil {
 		var zero T
 		return zero, err

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -26,7 +27,7 @@ type echoSim struct {
 
 func (*echoSim) JobKind() string { return "test/echo" }
 
-func (s *echoSim) Simulate(eng *Engine, spec Spec) (any, error) {
+func (s *echoSim) Simulate(ctx context.Context, eng *Engine, spec Spec) (any, error) {
 	job := spec.(echoSpec)
 	s.computed.Add(1)
 	if job.panics {
@@ -36,7 +37,7 @@ func (s *echoSim) Simulate(eng *Engine, spec Spec) (any, error) {
 		return nil, fmt.Errorf("job %s failed", job.id)
 	}
 	if job.dep != nil {
-		dep, err := Resolve[string](eng, *job.dep)
+		dep, err := Resolve[string](ctx, eng, *job.dep)
 		if err != nil {
 			return nil, err
 		}
@@ -55,7 +56,7 @@ func newTestEngine(workers int) (*Engine, *echoSim) {
 func TestDoMemoizes(t *testing.T) {
 	e, sim := newTestEngine(4)
 	for i := 0; i < 5; i++ {
-		v, err := Resolve[string](e, echoSpec{id: "a"})
+		v, err := Resolve[string](context.Background(), e, echoSpec{id: "a"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestDoDeduplicatesConcurrentCallers(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := e.Do(echoSpec{id: "shared"}); err != nil {
+			if _, err := e.Do(context.Background(), echoSpec{id: "shared"}); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -95,7 +96,7 @@ func TestDoDeduplicatesConcurrentCallers(t *testing.T) {
 func TestErrorsAreMemoized(t *testing.T) {
 	e, sim := newTestEngine(2)
 	for i := 0; i < 3; i++ {
-		if _, err := e.Do(echoSpec{id: "bad", fail: true}); err == nil {
+		if _, err := e.Do(context.Background(), echoSpec{id: "bad", fail: true}); err == nil {
 			t.Fatal("want error")
 		}
 	}
@@ -106,12 +107,12 @@ func TestErrorsAreMemoized(t *testing.T) {
 
 func TestPanicBecomesError(t *testing.T) {
 	e, _ := newTestEngine(2)
-	_, err := e.Do(echoSpec{id: "p", panics: true})
+	_, err := e.Do(context.Background(), echoSpec{id: "p", panics: true})
 	if err == nil {
 		t.Fatal("want error from panicking job")
 	}
 	// The memoized error must be shared, and must not wedge later callers.
-	if _, err2 := e.Do(echoSpec{id: "p", panics: true}); err2 == nil {
+	if _, err2 := e.Do(context.Background(), echoSpec{id: "p", panics: true}); err2 == nil {
 		t.Fatal("memoized panic error missing")
 	}
 }
@@ -123,7 +124,7 @@ func TestNestedDependencyResolution(t *testing.T) {
 	for i := range specs {
 		specs[i] = echoSpec{id: fmt.Sprintf("top%d", i), dep: &dep}
 	}
-	results, err := e.Run(specs)
+	results, err := e.Run(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestRunOrderingIsPositional(t *testing.T) {
 		for i := range specs {
 			specs[i] = echoSpec{id: fmt.Sprintf("j%03d", i)}
 		}
-		results, err := e.Run(specs)
+		results, err := e.Run(context.Background(), specs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +169,7 @@ func TestRunReturnsFirstErrorByIndex(t *testing.T) {
 	}
 	var firstErr error
 	for i := 0; i < 5; i++ {
-		_, err := e.Run(specs)
+		_, err := e.Run(context.Background(), specs)
 		if err == nil {
 			t.Fatal("want error")
 		}
@@ -185,17 +186,17 @@ func TestRunReturnsFirstErrorByIndex(t *testing.T) {
 
 func TestUnknownKindErrors(t *testing.T) {
 	e := New(1)
-	if _, err := e.Do(echoSpec{id: "x"}); err == nil {
+	if _, err := e.Do(context.Background(), echoSpec{id: "x"}); err == nil {
 		t.Fatal("unregistered kind must error")
 	}
 }
 
 func TestResolveTypeMismatch(t *testing.T) {
 	e, _ := newTestEngine(1)
-	if _, err := Resolve[int](e, echoSpec{id: "a"}); err == nil {
+	if _, err := Resolve[int](context.Background(), e, echoSpec{id: "a"}); err == nil {
 		t.Fatal("type mismatch must error")
 	}
-	if _, err := Resolve[string](e, echoSpec{id: "gone", fail: true}); err == nil {
+	if _, err := Resolve[string](context.Background(), e, echoSpec{id: "gone", fail: true}); err == nil {
 		t.Fatal("want propagated job error")
 	}
 }
@@ -224,7 +225,7 @@ func TestBatchDeduplicatesAndOrders(t *testing.T) {
 	if b.Len() != 2 {
 		t.Errorf("batch len = %d, want 2", b.Len())
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if Get[string](b, r1) != "x" || Get[string](b, r2) != "y" {

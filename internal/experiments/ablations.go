@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"memdep/internal/engine"
@@ -15,7 +16,7 @@ import (
 // section 3: the dependence-distance scheme (the paper's choice, evaluated
 // everywhere else) and the data-address scheme, on the 8-stage configuration
 // with the SYNC predictor.
-func (r *Runner) AblationTagging() (*stats.Table, error) {
+func (r *Runner) AblationTagging(ctx context.Context) (*stats.Table, error) {
 	const stages = 8
 
 	b := r.eng.NewBatch()
@@ -33,7 +34,7 @@ func (r *Runner) AblationTagging() (*stats.Table, error) {
 			addr: b.Add(r.simSpecWith(name, cfg)),
 		})
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(ctx); err != nil {
 		return nil, err
 	}
 
@@ -54,7 +55,7 @@ func (r *Runner) AblationTagging() (*stats.Table, error) {
 // AblationPredictor compares the prediction policies attached to MDPT entries
 // (always-synchronize, SYNC counter, ESYNC counter + task PC) on the 8-stage
 // configuration.
-func (r *Runner) AblationPredictor() (*stats.Table, error) {
+func (r *Runner) AblationPredictor(ctx context.Context) (*stats.Table, error) {
 	const stages = 8
 
 	b := r.eng.NewBatch()
@@ -74,7 +75,7 @@ func (r *Runner) AblationPredictor() (*stats.Table, error) {
 			psync:      b.Add(r.simSpec(name, stages, policy.PerfectSync)),
 		})
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(ctx); err != nil {
 		return nil, err
 	}
 
@@ -96,7 +97,7 @@ func ablationTableSizes() []int { return []int{16, 32, 64, 128, 256} }
 
 // AblationTableSize sweeps the MDPT size (the paper evaluates 64 entries and
 // discusses capacity problems for 103.su2cor and 145.fpppp).
-func (r *Runner) AblationTableSize() (*stats.Table, error) {
+func (r *Runner) AblationTableSize(ctx context.Context) (*stats.Table, error) {
 	const stages = 8
 	benchmarks := append(append([]string{}, workload.SPECint92Names()...),
 		"103.su2cor", "145.fpppp")
@@ -116,7 +117,7 @@ func (r *Runner) AblationTableSize() (*stats.Table, error) {
 		}
 		cells = append(cells, c)
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(ctx); err != nil {
 		return nil, err
 	}
 
@@ -144,7 +145,7 @@ type NamedExperiment struct {
 	// Description summarises what the experiment reports.
 	Description string
 	// Run produces the table.
-	Run func(*Runner) (*stats.Table, error)
+	Run func(*Runner, context.Context) (*stats.Table, error)
 }
 
 // All returns every experiment in presentation order.

@@ -16,6 +16,8 @@
 package experiments
 
 import (
+	"context"
+
 	"memdep/internal/engine"
 	"memdep/internal/memdep"
 	"memdep/internal/multiscalar"
@@ -176,16 +178,16 @@ func (r *Runner) windowSpec(name string, windows, ddcSizes []int) engine.Spec {
 
 // Program builds (and caches) the program of a benchmark at the configured
 // scale.
-func (r *Runner) Program(name string) (*program.Program, error) {
-	return engine.Resolve[*program.Program](r.eng, r.programSpec(name))
+func (r *Runner) Program(ctx context.Context, name string) (*program.Program, error) {
+	return engine.Resolve[*program.Program](ctx, r.eng, r.programSpec(name))
 }
 
 // WorkItem preprocesses (and caches) a benchmark for timing simulation.
-func (r *Runner) WorkItem(name string) (*multiscalar.WorkItem, error) {
-	return engine.Resolve[*multiscalar.WorkItem](r.eng, r.workItemSpec(name))
+func (r *Runner) WorkItem(ctx context.Context, name string) (*multiscalar.WorkItem, error) {
+	return engine.Resolve[*multiscalar.WorkItem](ctx, r.eng, r.workItemSpec(name))
 }
 
 // Simulate runs (and caches) one benchmark under one configuration.
-func (r *Runner) Simulate(name string, stages int, pol policy.Kind) (multiscalar.Result, error) {
-	return engine.Resolve[multiscalar.Result](r.eng, r.simSpec(name, stages, pol))
+func (r *Runner) Simulate(ctx context.Context, name string, stages int, pol policy.Kind) (multiscalar.Result, error) {
+	return engine.Resolve[multiscalar.Result](ctx, r.eng, r.simSpec(name, stages, pol))
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -31,20 +32,20 @@ func TestOptionsDefaults(t *testing.T) {
 
 func TestRunnerCaching(t *testing.T) {
 	r := quickRunner()
-	w1, err := r.WorkItem("compress")
+	w1, err := r.WorkItem(context.Background(), "compress")
 	if err != nil {
 		t.Fatal(err)
 	}
-	w2, _ := r.WorkItem("compress")
+	w2, _ := r.WorkItem(context.Background(), "compress")
 	if w1 != w2 {
 		t.Error("work items must be cached")
 	}
-	res1, err := r.Simulate("compress", 4, policy.Always)
+	res1, err := r.Simulate(context.Background(), "compress", 4, policy.Always)
 	if err != nil {
 		t.Fatal(err)
 	}
 	executed := r.Engine().Executed()
-	res2, _ := r.Simulate("compress", 4, policy.Always)
+	res2, _ := r.Simulate(context.Background(), "compress", 4, policy.Always)
 	if res1.Cycles != res2.Cycles {
 		t.Error("cached simulation must return the same result")
 	}
@@ -55,14 +56,14 @@ func TestRunnerCaching(t *testing.T) {
 	if n := r.Engine().CacheLen(); n != 3 {
 		t.Errorf("engine cache has %d entries, want 3", n)
 	}
-	if _, err := r.Program("no-such-benchmark"); err == nil {
+	if _, err := r.Program(context.Background(), "no-such-benchmark"); err == nil {
 		t.Error("unknown benchmark must error")
 	}
 }
 
 func TestTable1(t *testing.T) {
 	r := quickRunner()
-	tab, err := r.Table1DynamicCounts()
+	tab, err := r.Table1DynamicCounts(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,14 +78,14 @@ func TestTable1(t *testing.T) {
 
 func TestTable3And4Shapes(t *testing.T) {
 	r := quickRunner()
-	t3, err := r.Table3WindowMisspec()
+	t3, err := r.Table3WindowMisspec(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if t3.NumRows() != len(windowSizes()) {
 		t.Fatalf("table 3 rows = %d", t3.NumRows())
 	}
-	t4, err := r.Table4StaticCoverage()
+	t4, err := r.Table4StaticCoverage(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestTable3And4Shapes(t *testing.T) {
 
 func TestTable5MissRatesDecreaseWithDDCSize(t *testing.T) {
 	r := quickRunner()
-	tab, err := r.Table5DDCMissRate()
+	tab, err := r.Table5DDCMissRate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,14 +128,14 @@ func TestTable5MissRatesDecreaseWithDDCSize(t *testing.T) {
 
 func TestTable6And9Consistency(t *testing.T) {
 	r := quickRunner()
-	t6, err := r.Table6MultiscalarMisspec()
+	t6, err := r.Table6MultiscalarMisspec(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if t6.NumRows() != len(r.Options().Stages) {
 		t.Errorf("table 6 rows = %d", t6.NumRows())
 	}
-	t9, err := r.Table9MisspecPerLoad()
+	t9, err := r.Table9MisspecPerLoad(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestTable6And9Consistency(t *testing.T) {
 
 func TestTable8PercentagesSum(t *testing.T) {
 	r := quickRunner()
-	tab, err := r.Table8PredictionBreakdown()
+	tab, err := r.Table8PredictionBreakdown(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestTable8PercentagesSum(t *testing.T) {
 
 func TestFigure5Shapes(t *testing.T) {
 	r := quickRunner()
-	tab, err := r.Figure5PolicyComparison()
+	tab, err := r.Figure5PolicyComparison(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestFigure5Shapes(t *testing.T) {
 
 func TestFigure6Shapes(t *testing.T) {
 	r := quickRunner()
-	tab, err := r.Figure6MechanismSpeedup()
+	tab, err := r.Figure6MechanismSpeedup(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestLookupAndAll(t *testing.T) {
 // positive IPC.
 func TestSensitivitySweepShape(t *testing.T) {
 	r := quickRunner()
-	tab, err := r.SensitivityPredictorOrg()
+	tab, err := r.SensitivityPredictorOrg(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,12 +283,12 @@ func TestSensitivitySweepShape(t *testing.T) {
 // configuration as the plain 8-stage simulation, so the IPCs must agree.
 func TestSensitivityBaselineMatchesAblation(t *testing.T) {
 	r := quickRunner()
-	tab, err := r.SensitivityPredictorOrg()
+	tab, err := r.SensitivityPredictorOrg(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for col, name := range workload.SPECint92Names() {
-		res, err := r.Simulate(name, 8, policy.Sync)
+		res, err := r.Simulate(context.Background(), name, 8, policy.Sync)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -304,10 +305,10 @@ func TestAblationsRun(t *testing.T) {
 		t.Skip("ablations are slow; skipped in -short mode")
 	}
 	r := quickRunner()
-	if _, err := r.AblationTagging(); err != nil {
+	if _, err := r.AblationTagging(context.Background()); err != nil {
 		t.Errorf("tagging ablation: %v", err)
 	}
-	if _, err := r.AblationPredictor(); err != nil {
+	if _, err := r.AblationPredictor(context.Background()); err != nil {
 		t.Errorf("predictor ablation: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"memdep/internal/engine"
@@ -13,7 +14,7 @@ import (
 // Figure5PolicyComparison reproduces Figure 5: the IPC of the NEVER policy
 // and the speedups (%) of ALWAYS, WAIT and PSYNC relative to NEVER, for 4-
 // and 8-stage Multiscalar processors on the SPECint92 benchmarks.
-func (r *Runner) Figure5PolicyComparison() (*stats.Table, error) {
+func (r *Runner) Figure5PolicyComparison(ctx context.Context) (*stats.Table, error) {
 	compared := []policy.Kind{policy.Always, policy.Wait, policy.PerfectSync}
 
 	b := r.eng.NewBatch()
@@ -33,7 +34,7 @@ func (r *Runner) Figure5PolicyComparison() (*stats.Table, error) {
 			cells = append(cells, c)
 		}
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(ctx); err != nil {
 		return nil, err
 	}
 
@@ -55,7 +56,7 @@ func (r *Runner) Figure5PolicyComparison() (*stats.Table, error) {
 // proposed mechanism (SYNC and ESYNC predictors) and of perfect
 // synchronization (PSYNC) over blind speculation (ALWAYS), for 4- and 8-stage
 // configurations on the SPECint92 benchmarks.
-func (r *Runner) Figure6MechanismSpeedup() (*stats.Table, error) {
+func (r *Runner) Figure6MechanismSpeedup(ctx context.Context) (*stats.Table, error) {
 	compared := []policy.Kind{policy.Sync, policy.ESync, policy.PerfectSync}
 
 	b := r.eng.NewBatch()
@@ -75,7 +76,7 @@ func (r *Runner) Figure6MechanismSpeedup() (*stats.Table, error) {
 			cells = append(cells, c)
 		}
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(ctx); err != nil {
 		return nil, err
 	}
 
@@ -96,7 +97,7 @@ func (r *Runner) Figure6MechanismSpeedup() (*stats.Table, error) {
 // Figure7Spec95 reproduces Figure 7: for the SPEC95 programs on an 8-stage
 // Multiscalar processor, the IPC obtained with the ESYNC mechanism and the
 // speedups of ESYNC and PSYNC over blind speculation.
-func (r *Runner) Figure7Spec95() (*stats.Table, error) {
+func (r *Runner) Figure7Spec95(ctx context.Context) (*stats.Table, error) {
 	const stages = 8
 
 	b := r.eng.NewBatch()
@@ -113,7 +114,7 @@ func (r *Runner) Figure7Spec95() (*stats.Table, error) {
 			psync:  b.Add(r.simSpec(name, stages, policy.PerfectSync)),
 		})
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(ctx); err != nil {
 		return nil, err
 	}
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 func TestDriversDeterministicAcrossWorkerCounts(t *testing.T) {
 	drivers := []struct {
 		id  string
-		run func(*Runner) (*stats.Table, error)
+		run func(*Runner, context.Context) (*stats.Table, error)
 	}{
 		{"table6", (*Runner).Table6MultiscalarMisspec},
 		{"table8", (*Runner).Table8PredictionBreakdown},
@@ -28,7 +29,7 @@ func TestDriversDeterministicAcrossWorkerCounts(t *testing.T) {
 		r := NewRunner(opts)
 		out := map[string]string{}
 		for _, d := range drivers {
-			tab, err := d.run(r)
+			tab, err := d.run(r, context.Background())
 			if err != nil {
 				t.Fatalf("jobs=%d %s: %v", jobs, d.id, err)
 			}
@@ -55,7 +56,7 @@ func TestDriversDeterministicAcrossWorkerCounts(t *testing.T) {
 func TestDriversIdenticalAcrossCoreModes(t *testing.T) {
 	drivers := []struct {
 		id  string
-		run func(*Runner) (*stats.Table, error)
+		run func(*Runner, context.Context) (*stats.Table, error)
 	}{
 		{"table6", (*Runner).Table6MultiscalarMisspec},
 		{"table8", (*Runner).Table8PredictionBreakdown},
@@ -70,7 +71,7 @@ func TestDriversIdenticalAcrossCoreModes(t *testing.T) {
 		r := NewRunner(opts)
 		out := map[string]string{}
 		for _, d := range drivers {
-			tab, err := d.run(r)
+			tab, err := d.run(r, context.Background())
 			if err != nil {
 				t.Fatalf("core=%v %s: %v", core, d.id, err)
 			}
@@ -104,7 +105,7 @@ func TestConcurrentDriversShareOneRunner(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tab, err := e.Run(r)
+			tab, err := e.Run(r, context.Background())
 			if err != nil {
 				t.Errorf("%s: %v", e.ID, err)
 				return

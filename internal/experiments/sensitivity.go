@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"memdep/internal/engine"
@@ -48,7 +49,7 @@ func sensitivityPolicies() []policy.Kind { return []policy.Kind{policy.Sync, pol
 // hence lookup cost and conflict behaviour) the prediction quality tolerates.
 // Like every driver it is one engine job set, so output is byte-identical at
 // every -jobs setting.
-func (r *Runner) SensitivityPredictorOrg() (*stats.Table, error) {
+func (r *Runner) SensitivityPredictorOrg(ctx context.Context) (*stats.Table, error) {
 	const stages = 8
 
 	b := r.eng.NewBatch()
@@ -72,7 +73,7 @@ func (r *Runner) SensitivityPredictorOrg() (*stats.Table, error) {
 			rows = append(rows, rw)
 		}
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(ctx); err != nil {
 		return nil, err
 	}
 

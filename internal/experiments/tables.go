@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"memdep/internal/engine"
@@ -13,7 +14,7 @@ import (
 
 // Table1DynamicCounts reproduces Table 1: committed dynamic instruction
 // counts per benchmark.
-func (r *Runner) Table1DynamicCounts() (*stats.Table, error) {
+func (r *Runner) Table1DynamicCounts(ctx context.Context) (*stats.Table, error) {
 	var names []string
 	names = append(names, workload.SPECint92Names()...)
 	names = append(names, workload.SPEC95Names()...)
@@ -23,7 +24,7 @@ func (r *Runner) Table1DynamicCounts() (*stats.Table, error) {
 	for i, name := range names {
 		refs[i] = b.Add(r.workItemSpec(name))
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(ctx); err != nil {
 		return nil, err
 	}
 
@@ -49,13 +50,13 @@ func windowSizes() []int { return []int{8, 16, 32, 64, 128, 256, 512} }
 // windowBatch runs the unrealistic OOO analysis for every SPECint92 benchmark
 // as one parallel job set and returns the per-benchmark results in
 // window-size order.
-func (r *Runner) windowBatch(ddcSizes []int) (map[string][]window.Result, error) {
+func (r *Runner) windowBatch(ctx context.Context, ddcSizes []int) (map[string][]window.Result, error) {
 	b := r.eng.NewBatch()
 	refs := map[string]engine.Ref{}
 	for _, name := range workload.SPECint92Names() {
 		refs[name] = b.Add(r.windowSpec(name, windowSizes(), ddcSizes))
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(ctx); err != nil {
 		return nil, err
 	}
 	perBench := make(map[string][]window.Result, len(refs))
@@ -68,8 +69,8 @@ func (r *Runner) windowBatch(ddcSizes []int) (map[string][]window.Result, error)
 // Table3WindowMisspec reproduces Table 3: the number of dynamic memory
 // dependences (worst-case mis-speculations) observed as a function of the
 // window size, under the unrealistic OOO model.
-func (r *Runner) Table3WindowMisspec() (*stats.Table, error) {
-	perBench, err := r.windowBatch([]int{32})
+func (r *Runner) Table3WindowMisspec(ctx context.Context) (*stats.Table, error) {
+	perBench, err := r.windowBatch(ctx, []int{32})
 	if err != nil {
 		return nil, err
 	}
@@ -87,8 +88,8 @@ func (r *Runner) Table3WindowMisspec() (*stats.Table, error) {
 
 // Table4StaticCoverage reproduces Table 4: the number of static dependences
 // responsible for 99.9% of all mis-speculations, per window size.
-func (r *Runner) Table4StaticCoverage() (*stats.Table, error) {
-	perBench, err := r.windowBatch([]int{32})
+func (r *Runner) Table4StaticCoverage(ctx context.Context) (*stats.Table, error) {
+	perBench, err := r.windowBatch(ctx, []int{32})
 	if err != nil {
 		return nil, err
 	}
@@ -106,9 +107,9 @@ func (r *Runner) Table4StaticCoverage() (*stats.Table, error) {
 
 // Table5DDCMissRate reproduces Table 5: the miss rate (%) of data dependence
 // caches of 32, 128 and 512 entries as a function of the window size.
-func (r *Runner) Table5DDCMissRate() (*stats.Table, error) {
+func (r *Runner) Table5DDCMissRate(ctx context.Context) (*stats.Table, error) {
 	ddcSizes := window.DefaultDDCSizes()
-	perBench, err := r.windowBatch(ddcSizes)
+	perBench, err := r.windowBatch(ctx, ddcSizes)
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +130,7 @@ func (r *Runner) Table5DDCMissRate() (*stats.Table, error) {
 
 // Table6MultiscalarMisspec reproduces Table 6: the number of mis-speculations
 // observed on the Multiscalar model (blind speculation) for 4 and 8 stages.
-func (r *Runner) Table6MultiscalarMisspec() (*stats.Table, error) {
+func (r *Runner) Table6MultiscalarMisspec(ctx context.Context) (*stats.Table, error) {
 	b := r.eng.NewBatch()
 	type rowRefs struct {
 		stages int
@@ -143,7 +144,7 @@ func (r *Runner) Table6MultiscalarMisspec() (*stats.Table, error) {
 		}
 		grid = append(grid, rr)
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(ctx); err != nil {
 		return nil, err
 	}
 
@@ -164,7 +165,7 @@ func table7DDCSizes() []int { return []int{16, 32, 64, 128, 256, 512, 1024} }
 
 // Table7MultiscalarDDC reproduces Table 7: DDC miss rates on the 8-stage
 // Multiscalar configuration as a function of the DDC size.
-func (r *Runner) Table7MultiscalarDDC() (*stats.Table, error) {
+func (r *Runner) Table7MultiscalarDDC(ctx context.Context) (*stats.Table, error) {
 	b := r.eng.NewBatch()
 	refs := map[string]engine.Ref{}
 	for _, name := range workload.SPECint92Names() {
@@ -172,7 +173,7 @@ func (r *Runner) Table7MultiscalarDDC() (*stats.Table, error) {
 		cfg.DDCSizes = table7DDCSizes()
 		refs[name] = b.Add(r.simSpecWith(name, cfg))
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(ctx); err != nil {
 		return nil, err
 	}
 
@@ -191,7 +192,7 @@ func (r *Runner) Table7MultiscalarDDC() (*stats.Table, error) {
 
 // Table8PredictionBreakdown reproduces Table 8: the breakdown of dependence
 // predictions (predicted/actual) for the SYNC and ESYNC predictors.
-func (r *Runner) Table8PredictionBreakdown() (*stats.Table, error) {
+func (r *Runner) Table8PredictionBreakdown(ctx context.Context) (*stats.Table, error) {
 	b := r.eng.NewBatch()
 	type cellKey struct {
 		stages int
@@ -206,7 +207,7 @@ func (r *Runner) Table8PredictionBreakdown() (*stats.Table, error) {
 			}
 		}
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(ctx); err != nil {
 		return nil, err
 	}
 
@@ -240,7 +241,7 @@ func (r *Runner) Table8PredictionBreakdown() (*stats.Table, error) {
 // Table9MisspecPerLoad reproduces Table 9: mis-speculations per committed
 // load under blind speculation and with the prediction/synchronization
 // mechanism in place.
-func (r *Runner) Table9MisspecPerLoad() (*stats.Table, error) {
+func (r *Runner) Table9MisspecPerLoad(ctx context.Context) (*stats.Table, error) {
 	pols := []policy.Kind{policy.Always, policy.Sync, policy.ESync}
 
 	b := r.eng.NewBatch()
@@ -258,7 +259,7 @@ func (r *Runner) Table9MisspecPerLoad() (*stats.Table, error) {
 			refs[rowKey{stages, pol}] = rr
 		}
 	}
-	if err := b.Run(); err != nil {
+	if err := b.Run(ctx); err != nil {
 		return nil, err
 	}
 

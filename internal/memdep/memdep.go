@@ -29,6 +29,7 @@ package memdep
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // PairKey identifies a static dependence edge by the program counters of the
@@ -41,6 +42,23 @@ type PairKey struct {
 // String implements fmt.Stringer.
 func (k PairKey) String() string {
 	return fmt.Sprintf("(st@%#x -> ld@%#x)", k.StorePC, k.LoadPC)
+}
+
+// MarshalText implements encoding.TextMarshaler with a compact "st@0x..->
+// ld@0x.." spelling, which is what lets maps keyed by PairKey (mis-speculation
+// counts, DDC studies) encode directly to JSON objects.
+func (k PairKey) MarshalText() ([]byte, error) {
+	return []byte(fmt.Sprintf("st@%#x->ld@%#x", k.StorePC, k.LoadPC)), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, inverting MarshalText.
+func (k *PairKey) UnmarshalText(text []byte) error {
+	var st, ld uint64
+	if _, err := fmt.Sscanf(string(text), "st@0x%x->ld@0x%x", &st, &ld); err != nil {
+		return fmt.Errorf("memdep: malformed pair key %q: %w", text, err)
+	}
+	k.StorePC, k.LoadPC = st, ld
+	return nil
 }
 
 // PairCount couples a static dependence pair with an observed event count.
@@ -97,6 +115,36 @@ func (k PredictorKind) String() string {
 	default:
 		return fmt.Sprintf("predictor(%d)", int(k))
 	}
+}
+
+// ParsePredictorKind parses the String spellings of the prediction policies
+// ("ALWAYS-SYNC", "SYNC", "ESYNC"), case-insensitively.
+func ParsePredictorKind(s string) (PredictorKind, error) {
+	n := strings.ToUpper(strings.TrimSpace(s))
+	for k := PredictAlways; k <= PredictESync; k++ {
+		if k.String() == n {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("memdep: unknown predictor kind %q", s)
+}
+
+// MarshalText implements encoding.TextMarshaler using the String spelling.
+func (k PredictorKind) MarshalText() ([]byte, error) {
+	if k < PredictAlways || k > PredictESync {
+		return nil, fmt.Errorf("memdep: cannot marshal invalid predictor kind %d", int(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParsePredictorKind.
+func (k *PredictorKind) UnmarshalText(text []byte) error {
+	v, err := ParsePredictorKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
 }
 
 // Config describes a prediction/synchronization system.

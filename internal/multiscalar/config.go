@@ -2,6 +2,7 @@ package multiscalar
 
 import (
 	"fmt"
+	"strings"
 
 	"memdep/internal/arb"
 	"memdep/internal/cache"
@@ -44,9 +45,11 @@ func (m CoreMode) String() string {
 // Valid reports whether the mode is one of the defined cores.
 func (m CoreMode) Valid() bool { return m == CoreEvent || m == CoreStepped }
 
-// ParseCoreMode parses the -core flag values "event" and "stepped".
+// ParseCoreMode parses the -core flag values "event" and "stepped",
+// case-insensitively (matching policy.Parse); String always canonicalizes
+// back to the lower-case spelling.
 func ParseCoreMode(s string) (CoreMode, error) {
-	switch s {
+	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "event":
 		return CoreEvent, nil
 	case "stepped":
@@ -54,6 +57,26 @@ func ParseCoreMode(s string) (CoreMode, error) {
 	default:
 		return 0, fmt.Errorf("multiscalar: unknown core mode %q (want \"event\" or \"stepped\")", s)
 	}
+}
+
+// MarshalText implements encoding.TextMarshaler using the flag spelling, so
+// CoreMode fields encode as "event"/"stepped" in JSON.
+func (m CoreMode) MarshalText() ([]byte, error) {
+	if !m.Valid() {
+		return nil, fmt.Errorf("multiscalar: cannot marshal invalid core mode %d", int(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseCoreMode, so the
+// JSON encoding round-trips (case-insensitively).
+func (m *CoreMode) UnmarshalText(text []byte) error {
+	v, err := ParseCoreMode(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
 }
 
 // Config describes one Multiscalar processor configuration and speculation

@@ -1,6 +1,7 @@
 package multiscalar
 
 import (
+	"context"
 	"fmt"
 
 	"memdep/internal/engine"
@@ -42,12 +43,12 @@ func PreprocessSimulator() engine.Simulator { return preprocessSimulator{} }
 
 func (preprocessSimulator) JobKind() string { return PreprocessKind }
 
-func (preprocessSimulator) Simulate(eng *engine.Engine, spec engine.Spec) (any, error) {
+func (preprocessSimulator) Simulate(ctx context.Context, eng *engine.Engine, spec engine.Spec) (any, error) {
 	job, ok := spec.(PreprocessJob)
 	if !ok {
 		return nil, fmt.Errorf("multiscalar: spec %T is not a PreprocessJob", spec)
 	}
-	p, err := engine.Resolve[*program.Program](eng, job.Program)
+	p, err := engine.Resolve[*program.Program](ctx, eng, job.Program)
 	if err != nil {
 		return nil, err
 	}
@@ -85,14 +86,14 @@ func SimulateSimulator() engine.Simulator { return simulateSimulator{} }
 
 func (simulateSimulator) JobKind() string { return SimulateKind }
 
-func (simulateSimulator) Simulate(eng *engine.Engine, spec engine.Spec) (any, error) {
+func (simulateSimulator) Simulate(ctx context.Context, eng *engine.Engine, spec engine.Spec) (any, error) {
 	job, ok := spec.(SimulateJob)
 	if !ok {
 		return nil, fmt.Errorf("multiscalar: spec %T is not a SimulateJob", spec)
 	}
-	w, err := engine.Resolve[*WorkItem](eng, job.Item)
+	w, err := engine.Resolve[*WorkItem](ctx, eng, job.Item)
 	if err != nil {
 		return nil, err
 	}
-	return Simulate(w, job.Config)
+	return SimulateContext(ctx, w, job.Config)
 }

@@ -1,0 +1,89 @@
+package multiscalar
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"memdep/internal/policy"
+	"memdep/internal/trace"
+	"memdep/internal/workload"
+)
+
+// TestParseCoreModeRoundTrip checks that String and ParseCoreMode invert each
+// other for every defined core, case-insensitively (matching policy.Parse).
+func TestParseCoreModeRoundTrip(t *testing.T) {
+	for _, m := range []CoreMode{CoreEvent, CoreStepped} {
+		mixed := strings.ToUpper(m.String()[:1]) + m.String()[1:]
+		for _, spelling := range []string{
+			m.String(),
+			strings.ToUpper(m.String()),
+			"  " + mixed + " ",
+		} {
+			got, err := ParseCoreMode(spelling)
+			if err != nil {
+				t.Fatalf("ParseCoreMode(%q): %v", spelling, err)
+			}
+			if got != m {
+				t.Fatalf("ParseCoreMode(%q) = %v, want %v", spelling, got, m)
+			}
+		}
+	}
+	if _, err := ParseCoreMode("polling"); err == nil {
+		t.Fatal("ParseCoreMode accepted an unknown mode")
+	}
+}
+
+// TestCoreModeJSONRoundTrip checks the text encoding used in JSON payloads.
+func TestCoreModeJSONRoundTrip(t *testing.T) {
+	for _, m := range []CoreMode{CoreEvent, CoreStepped} {
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", m, err)
+		}
+		var back CoreMode
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != m {
+			t.Fatalf("round trip of %v gave %v", m, back)
+		}
+	}
+	if _, err := json.Marshal(CoreMode(99)); err == nil {
+		t.Fatal("marshal accepted an invalid core mode")
+	}
+}
+
+// TestResultJSONRoundTrip encodes a real simulation result -- including the
+// PairKey-keyed mis-speculation map and the DDC miss rates -- and checks the
+// decoded value is deeply equal.
+func TestResultJSONRoundTrip(t *testing.T) {
+	item, err := Preprocess(workload.MustGet("compress").Build(1),
+		trace.Config{MaxInstructions: 40_000})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	for _, pol := range []policy.Kind{policy.Always, policy.ESync} {
+		cfg := DefaultConfig(8, pol)
+		cfg.DDCSizes = []int{32, 128}
+		res, err := Simulate(item, cfg)
+		if err != nil {
+			t.Fatalf("Simulate(%v): %v", pol, err)
+		}
+		if len(res.MisspecPairs) == 0 {
+			t.Fatalf("%v: no mis-speculated pairs; test needs a non-trivial map", pol)
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("marshal result: %v", err)
+		}
+		var back Result
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal result: %v", err)
+		}
+		if !reflect.DeepEqual(res, back) {
+			t.Fatalf("result did not round trip through JSON:\n got %+v\nwant %+v", back, res)
+		}
+	}
+}

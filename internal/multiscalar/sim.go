@@ -1,6 +1,7 @@
 package multiscalar
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -97,6 +98,7 @@ type execTask struct {
 const never = int64(math.MaxInt64)
 
 type sim struct {
+	ctx   context.Context
 	cfg   Config
 	w     *WorkItem
 	tasks []execTask
@@ -130,11 +132,20 @@ type sim struct {
 // Simulate runs the work item on the configured processor and returns the
 // timing and dependence statistics.
 func Simulate(w *WorkItem, cfg Config) (Result, error) {
+	return SimulateContext(context.Background(), w, cfg)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the run loop
+// checks the context every few thousand scheduling passes and aborts with
+// ctx.Err(), so a cancelled service request stops burning CPU promptly
+// without a per-cycle branch on the hot path.
+func SimulateContext(ctx context.Context, w *WorkItem, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	s := &sim{
+		ctx:  ctx,
 		cfg:  cfg,
 		w:    w,
 		hier: cache.NewHierarchy(cfg.Cache),
@@ -215,10 +226,16 @@ func (s *sim) run() error {
 		s.dispatch(i, int64(i)*int64(s.cfg.DispatchLatency))
 	}
 	stepped := s.cfg.Core == CoreStepped
+	var passes uint
 	for s.head < len(s.tasks) {
 		if s.cycle > s.cfg.MaxCycles {
 			return fmt.Errorf("multiscalar: %q exceeded the cycle limit of %d under %v",
 				s.w.Name, s.cfg.MaxCycles, s.cfg.Policy)
+		}
+		if passes++; passes&0x1fff == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return err
+			}
 		}
 		s.changed = false
 		s.nextEvent = never

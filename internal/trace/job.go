@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 
 	"memdep/internal/engine"
@@ -35,12 +36,12 @@ func RunSimulator() engine.Simulator { return runSimulator{} }
 
 func (runSimulator) JobKind() string { return RunKind }
 
-func (runSimulator) Simulate(eng *engine.Engine, spec engine.Spec) (any, error) {
+func (runSimulator) Simulate(ctx context.Context, eng *engine.Engine, spec engine.Spec) (any, error) {
 	job, ok := spec.(RunJob)
 	if !ok {
 		return nil, fmt.Errorf("trace: spec %T is not a RunJob", spec)
 	}
-	p, err := engine.Resolve[*program.Program](eng, job.Program)
+	p, err := engine.Resolve[*program.Program](ctx, eng, job.Program)
 	if err != nil {
 		return nil, err
 	}

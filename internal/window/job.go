@@ -1,6 +1,7 @@
 package window
 
 import (
+	"context"
 	"fmt"
 
 	"memdep/internal/engine"
@@ -38,12 +39,12 @@ func AnalyzeSimulator() engine.Simulator { return analyzeSimulator{} }
 
 func (analyzeSimulator) JobKind() string { return AnalyzeKind }
 
-func (analyzeSimulator) Simulate(eng *engine.Engine, spec engine.Spec) (any, error) {
+func (analyzeSimulator) Simulate(ctx context.Context, eng *engine.Engine, spec engine.Spec) (any, error) {
 	job, ok := spec.(AnalyzeJob)
 	if !ok {
 		return nil, fmt.Errorf("window: spec %T is not an AnalyzeJob", spec)
 	}
-	p, err := engine.Resolve[*program.Program](eng, job.Program)
+	p, err := engine.Resolve[*program.Program](ctx, eng, job.Program)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"memdep/internal/engine"
@@ -31,7 +32,7 @@ func BuildSimulator() engine.Simulator { return buildSimulator{} }
 
 func (buildSimulator) JobKind() string { return BuildKind }
 
-func (buildSimulator) Simulate(_ *engine.Engine, spec engine.Spec) (any, error) {
+func (buildSimulator) Simulate(_ context.Context, _ *engine.Engine, spec engine.Spec) (any, error) {
 	job, ok := spec.(BuildJob)
 	if !ok {
 		return nil, fmt.Errorf("workload: spec %T is not a BuildJob", spec)

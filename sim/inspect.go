@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"memdep/internal/engine"
+	"memdep/internal/program"
+	"memdep/internal/trace"
+	"memdep/internal/window"
+	"memdep/internal/workload"
+)
+
+// TraceRequest describes a functional (non-timing) inspection of a
+// benchmark: the committed instruction stream of the paper's "total order".
+type TraceRequest struct {
+	// Bench names the benchmark (required).
+	Bench string `json:"bench"`
+	// Scale overrides the workload scale (0 = the benchmark's default).
+	Scale int `json:"scale,omitempty"`
+	// MaxInstructions caps the committed instructions (0 = unlimited).
+	MaxInstructions uint64 `json:"max_instructions,omitempty"`
+}
+
+// validate resolves the workload and effective scale.
+func (r TraceRequest) validate() (workload.Workload, int, error) {
+	w, err := workload.Get(r.Bench)
+	if err != nil {
+		v := &ValidationError{}
+		if r.Bench == "" {
+			v.add("bench", "", "benchmark name is required")
+		} else {
+			v.add("bench", r.Bench, "unknown benchmark")
+		}
+		return workload.Workload{}, 0, v
+	}
+	if r.Scale < 0 {
+		v := &ValidationError{}
+		v.add("scale", fmt.Sprint(r.Scale), "must not be negative")
+		return workload.Workload{}, 0, v
+	}
+	scale := r.Scale
+	if scale == 0 {
+		scale = w.DefaultScale
+	}
+	return w, scale, nil
+}
+
+// TraceSummary reports the static shape and committed dynamic stream of a
+// benchmark.
+type TraceSummary struct {
+	Bench       string `json:"bench"`
+	Suite       string `json:"suite"`
+	Description string `json:"description"`
+	Scale       int    `json:"scale"`
+
+	StaticInstructions int `json:"static_instructions"`
+	StaticLoads        int `json:"static_loads"`
+	StaticStores       int `json:"static_stores"`
+
+	Instructions uint64 `json:"instructions"`
+	Loads        uint64 `json:"loads"`
+	Stores       uint64 `json:"stores"`
+	Branches     uint64 `json:"branches"`
+	Tasks        uint64 `json:"tasks"`
+}
+
+// AvgTaskSize returns the average dynamic task size in instructions.
+func (s *TraceSummary) AvgTaskSize() float64 {
+	if s.Tasks == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Tasks)
+}
+
+// Trace runs the benchmark on the functional simulator (memoized) and
+// summarises it.
+func (s *Session) Trace(ctx context.Context, req TraceRequest) (*TraceSummary, error) {
+	w, scale, err := req.validate()
+	if err != nil {
+		return nil, err
+	}
+	progSpec := workload.BuildJob{Name: req.Bench, Scale: scale}
+	prog, err := engine.Resolve[*program.Program](ctx, s.eng, progSpec)
+	if err != nil {
+		return nil, err
+	}
+	st, err := engine.Resolve[trace.Stats](ctx, s.eng, trace.RunJob{
+		Program: progSpec,
+		Config:  trace.Config{MaxInstructions: req.MaxInstructions},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TraceSummary{
+		Bench:              w.Name,
+		Suite:              w.Suite.String(),
+		Description:        w.Description,
+		Scale:              scale,
+		StaticInstructions: prog.Len(),
+		StaticLoads:        len(prog.StaticLoads()),
+		StaticStores:       len(prog.StaticStores()),
+		Instructions:       st.Instructions,
+		Loads:              st.Loads,
+		Stores:             st.Stores,
+		Branches:           st.Branches,
+		Tasks:              st.Tasks,
+	}, nil
+}
+
+// Disassemble returns the benchmark's full static disassembly.
+func (s *Session) Disassemble(ctx context.Context, req TraceRequest) (string, error) {
+	_, scale, err := req.validate()
+	if err != nil {
+		return "", err
+	}
+	prog, err := engine.Resolve[*program.Program](ctx, s.eng, workload.BuildJob{Name: req.Bench, Scale: scale})
+	if err != nil {
+		return "", err
+	}
+	return prog.Disassemble(), nil
+}
+
+// TaskSizeBucket is one row of the dynamic task-size histogram.
+type TaskSizeBucket struct {
+	// Label names the size range ("1-16", ..., "513+").
+	Label string `json:"label"`
+	// Tasks is the number of dynamic tasks in the range.
+	Tasks int `json:"tasks"`
+}
+
+// taskSizeBuckets are the histogram ranges, matching the paper's discussion
+// of task granularity.
+var taskSizeBuckets = []struct {
+	label string
+	max   uint64
+}{
+	{"1-16", 16}, {"17-32", 32}, {"33-64", 64}, {"65-128", 128},
+	{"129-256", 256}, {"257-512", 512}, {"513+", ^uint64(0)},
+}
+
+// TaskSizes histograms the benchmark's dynamic task sizes.  Every bucket is
+// present in range order, including empty ones.
+func (s *Session) TaskSizes(ctx context.Context, req TraceRequest) ([]TaskSizeBucket, error) {
+	_, scale, err := req.validate()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := engine.Resolve[*program.Program](ctx, s.eng, workload.BuildJob{Name: req.Bench, Scale: scale})
+	if err != nil {
+		return nil, err
+	}
+	sizes := map[uint64]uint64{}
+	var current, count uint64
+	_, err = trace.Run(prog, trace.Config{MaxInstructions: req.MaxInstructions}, func(d trace.DynInst) bool {
+		if d.TaskStart && count > 0 {
+			sizes[current] = count
+			count = 0
+		}
+		current = d.TaskID
+		count++
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if count > 0 {
+		sizes[current] = count
+	}
+	hist := make([]TaskSizeBucket, len(taskSizeBuckets))
+	for i, b := range taskSizeBuckets {
+		hist[i].Label = b.label
+	}
+	for _, n := range sizes {
+		for i, b := range taskSizeBuckets {
+			if n <= b.max {
+				hist[i].Tasks++
+				break
+			}
+		}
+	}
+	return hist, nil
+}
+
+// WindowRequest describes an unrealistic-OOO window analysis (the paper's
+// section 5.3): worst-case mis-speculations, static dependence coverage and
+// DDC miss rates per window size.
+type WindowRequest struct {
+	// Bench names the benchmark (required).
+	Bench string `json:"bench"`
+	// Scale overrides the workload scale (0 = the benchmark's default).
+	Scale int `json:"scale,omitempty"`
+	// MaxInstructions caps the committed instructions (0 = unlimited).
+	MaxInstructions uint64 `json:"max_instructions,omitempty"`
+	// WindowSizes lists the instruction window sizes to analyse (nil = the
+	// Tables 3-5 sizes 8..512).
+	WindowSizes []int `json:"window_sizes,omitempty"`
+	// DDCSizes lists the data dependence cache sizes to study (nil = the
+	// Table 5 sizes 32, 128, 512).
+	DDCSizes []int `json:"ddc_sizes,omitempty"`
+}
+
+// WindowResult reports the dependence statistics of one window size.
+type WindowResult struct {
+	WindowSize       int     `json:"window_size"`
+	Loads            uint64  `json:"loads"`
+	Misspeculations  uint64  `json:"misspeculations"`
+	MisspecsPerLoad  float64 `json:"misspecs_per_load"`
+	StaticPairs      int     `json:"static_pairs"`
+	PairsForCoverage int     `json:"pairs_for_coverage"`
+	// DDCMissRate maps DDC size to its miss percentage.
+	DDCMissRate map[int]float64 `json:"ddc_miss_rate,omitempty"`
+	// Pairs lists the observed static dependences by decreasing frequency,
+	// annotated with their disassembly.
+	Pairs []PairCount `json:"pairs,omitempty"`
+}
+
+// Window runs the window analysis (memoized), one result per window size in
+// increasing order.
+func (s *Session) Window(ctx context.Context, req WindowRequest) ([]WindowResult, error) {
+	grids, err := s.WindowGrid(ctx, []WindowRequest{req})
+	if err != nil {
+		return nil, err
+	}
+	return grids[0], nil
+}
+
+// WindowGrid runs several window analyses as one job set: the analyses fan
+// out over the session's worker pool (one engine job each) and share the
+// memoized cache.  Results are positional: results[i] answers reqs[i].
+func (s *Session) WindowGrid(ctx context.Context, reqs []WindowRequest) ([][]WindowResult, error) {
+	specs := make([]window.AnalyzeJob, len(reqs))
+	b := s.eng.NewBatch()
+	refs := make([]engine.Ref, len(reqs))
+	for i, req := range reqs {
+		_, scale, err := TraceRequest{Bench: req.Bench, Scale: req.Scale}.validate()
+		if err != nil {
+			if len(reqs) > 1 {
+				return nil, fmt.Errorf("request %d: %w", i, err)
+			}
+			return nil, err
+		}
+		specs[i] = window.AnalyzeJob{
+			Program: workload.BuildJob{Name: req.Bench, Scale: scale},
+			Config: window.Config{
+				WindowSizes: req.WindowSizes,
+				DDCSizes:    req.DDCSizes,
+				Trace:       trace.Config{MaxInstructions: req.MaxInstructions},
+			},
+		}
+		refs[i] = b.Add(specs[i])
+	}
+	if err := b.Run(ctx); err != nil {
+		return nil, err
+	}
+	out := make([][]WindowResult, len(reqs))
+	for i := range reqs {
+		prog, err := engine.Resolve[*program.Program](ctx, s.eng, specs[i].Program)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = convertWindowResults(engine.Get[[]window.Result](b, refs[i]), prog)
+	}
+	return out, nil
+}
+
+// convertWindowResults maps internal analysis results to the public shape.
+func convertWindowResults(results []window.Result, prog *program.Program) []WindowResult {
+	out := make([]WindowResult, len(results))
+	for i, r := range results {
+		out[i] = WindowResult{
+			WindowSize:       r.WindowSize,
+			Loads:            r.Loads,
+			Misspeculations:  r.Misspeculations,
+			MisspecsPerLoad:  r.MisspecRate(),
+			StaticPairs:      r.StaticPairs,
+			PairsForCoverage: r.PairsForCoverage,
+			Pairs:            annotatePairs(r.PairCounts, prog),
+		}
+		if len(r.DDCMissRate) > 0 {
+			rates := make(map[int]float64, len(r.DDCMissRate))
+			for size, rate := range r.DDCMissRate {
+				rates[size] = rate
+			}
+			out[i].DDCMissRate = rates
+		}
+	}
+	return out
+}
+
+// DefaultWindowSizes returns the window sizes of the paper's Tables 3-5.
+func DefaultWindowSizes() []int { return window.DefaultWindowSizes() }
+
+// DefaultDDCSizes returns the DDC sizes of the paper's Table 5.
+func DefaultDDCSizes() []int { return window.DefaultDDCSizes() }

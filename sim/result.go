@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"fmt"
+
+	"memdep/internal/memdep"
+	"memdep/internal/multiscalar"
+	"memdep/internal/program"
+)
+
+// Breakdown classifies committed loads by predicted-vs-actual dependence
+// outcome, the four cells of the paper's Table 8.  Indexing is
+// [predicted][actual] with 0 = no dependence, 1 = dependence; it encodes to
+// JSON as a nested array [[n/n, n/y], [y/n, y/y]].
+type Breakdown [2][2]uint64
+
+// Total returns the number of classified loads.
+func (b Breakdown) Total() uint64 { return b[0][0] + b[0][1] + b[1][0] + b[1][1] }
+
+// Percent returns the percentage of loads in the given cell.
+func (b Breakdown) Percent(predicted, actual int) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(b[predicted][actual]) / float64(t)
+}
+
+// MemDepStats mirrors the MDPT/MDST system counters.
+type MemDepStats struct {
+	LoadQueries             uint64 `json:"load_queries"`
+	LoadsPredictedDependent uint64 `json:"loads_predicted_dependent"`
+	LoadsMadeToWait         uint64 `json:"loads_made_to_wait"`
+	LoadsSignalledEarly     uint64 `json:"loads_signalled_early"`
+	StoreQueries            uint64 `json:"store_queries"`
+	StoresSignalled         uint64 `json:"stores_signalled"`
+	LoadsReleasedByStore    uint64 `json:"loads_released_by_store"`
+	LoadsReleasedStale      uint64 `json:"loads_released_stale"`
+	Misspeculations         uint64 `json:"misspeculations"`
+	ESyncFiltered           uint64 `json:"esync_filtered"`
+}
+
+// ARBStats mirrors the address resolution buffer counters.
+type ARBStats struct {
+	Loads      uint64 `json:"loads"`
+	Stores     uint64 `json:"stores"`
+	Violations uint64 `json:"violations"`
+	StallsFull uint64 `json:"stalls_full"`
+}
+
+// CacheStats mirrors the memory hierarchy counters.
+type CacheStats struct {
+	InstrAccesses uint64 `json:"instr_accesses"`
+	InstrMisses   uint64 `json:"instr_misses"`
+	DataAccesses  uint64 `json:"data_accesses"`
+	DataMisses    uint64 `json:"data_misses"`
+	BusTransfers  uint64 `json:"bus_transfers"`
+	BusWait       uint64 `json:"bus_wait"`
+	BankWait      uint64 `json:"bank_wait"`
+}
+
+// SequencerStats mirrors the task sequencer counters.
+type SequencerStats struct {
+	TaskDispatches   uint64  `json:"task_dispatches"`
+	Mispredictions   uint64  `json:"mispredictions"`
+	DescriptorMisses uint64  `json:"descriptor_misses"`
+	PredictorAcc     float64 `json:"predictor_accuracy"`
+}
+
+// PairCount is one static store→load dependence pair with its observed event
+// count, annotated with the static instruction indices and disassembled text
+// so clients need no access to the program image.
+type PairCount struct {
+	StorePC    uint64 `json:"store_pc"`
+	LoadPC     uint64 `json:"load_pc"`
+	StoreIndex int    `json:"store_index"`
+	LoadIndex  int    `json:"load_index"`
+	Store      string `json:"store"`
+	Load       string `json:"load"`
+	Count      uint64 `json:"count"`
+}
+
+// Result is the response to one simulation Request.  Request echoes the
+// normalized request the result answers (defaults applied, enums
+// canonicalized, effective table geometry).
+type Result struct {
+	Request Request `json:"request"`
+
+	// Timing.
+	Cycles int64   `json:"cycles"`
+	IPC    float64 `json:"ipc"`
+
+	// Committed work (identical across policies for the same work item).
+	Instructions uint64  `json:"instructions"`
+	Loads        uint64  `json:"loads"`
+	Stores       uint64  `json:"stores"`
+	Tasks        uint64  `json:"tasks"`
+	AvgTaskSize  float64 `json:"avg_task_size"`
+
+	// Speculation outcomes.
+	Misspeculations         uint64  `json:"misspeculations"`
+	MisspecsPerLoad         float64 `json:"misspecs_per_load"`
+	Squashes                uint64  `json:"squashes"`
+	SquashedInstructions    uint64  `json:"squashed_instructions"`
+	LoadsWaited             uint64  `json:"loads_waited"`
+	WaitCycles              uint64  `json:"wait_cycles"`
+	FalseDependenceReleases uint64  `json:"false_dependence_releases"`
+	ARBBypasses             uint64  `json:"arb_bypasses"`
+
+	// Breakdown classifies committed loads for Table 8 (meaningful for the
+	// predictor-driven policies).
+	Breakdown Breakdown `json:"breakdown"`
+
+	// Subsystem counters.
+	MemDep    MemDepStats    `json:"memdep"`
+	ARB       ARBStats       `json:"arb"`
+	Cache     CacheStats     `json:"cache"`
+	Sequencer SequencerStats `json:"sequencer"`
+
+	// DDCMissRate reports, for each size in Request.DDCSizes, the percentage
+	// of mis-speculations whose static pair missed in a DDC of that size.
+	DDCMissRate map[int]float64 `json:"ddc_miss_rate,omitempty"`
+
+	// MisspecPairs lists the detected violations per static store→load pair,
+	// ordered by decreasing count (ties broken by PC, deterministically).
+	MisspecPairs []PairCount `json:"misspec_pairs,omitempty"`
+}
+
+// UsesPredictor reports whether the result's policy drives the MDPT/MDST
+// hardware (and hence whether Breakdown and MemDep are meaningful).
+func (r *Result) UsesPredictor() bool {
+	k, err := r.Request.Policy.kind()
+	return err == nil && k.UsesPredictor()
+}
+
+// SpeedupOver returns the percentage speedup of r relative to base (positive
+// when r is faster).
+func (r *Result) SpeedupOver(base *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return 100 * (float64(base.Cycles)/float64(r.Cycles) - 1)
+}
+
+// newResult converts an internal simulation result into the public shape.
+// prog and item annotate the mis-speculated pairs and the task structure;
+// either may be nil (uncached benchmarking runs skip the annotation).
+func newResult(req Request, res multiscalar.Result, item *multiscalar.WorkItem, prog *program.Program) *Result {
+	out := &Result{
+		Request: req,
+
+		Cycles: res.Cycles,
+		IPC:    res.IPC(),
+
+		Instructions: res.Instructions,
+		Loads:        res.Loads,
+		Stores:       res.Stores,
+		Tasks:        res.Tasks,
+
+		Misspeculations:         res.Misspeculations,
+		MisspecsPerLoad:         res.MisspecsPerCommittedLoad(),
+		Squashes:                res.Squashes,
+		SquashedInstructions:    res.SquashedInstructions,
+		LoadsWaited:             res.LoadsWaited,
+		WaitCycles:              res.WaitCycles,
+		FalseDependenceReleases: res.FalseDependenceReleases,
+		ARBBypasses:             res.ARBBypasses,
+
+		Breakdown: Breakdown(res.Breakdown),
+
+		MemDep:    MemDepStats(res.MemDep),
+		ARB:       ARBStats(res.ARB),
+		Cache:     CacheStats(res.Cache),
+		Sequencer: SequencerStats(res.Sequencer),
+	}
+	if item != nil {
+		out.AvgTaskSize = item.AvgTaskSize()
+	}
+	if len(res.DDCMissRate) > 0 {
+		out.DDCMissRate = make(map[int]float64, len(res.DDCMissRate))
+		for size, rate := range res.DDCMissRate {
+			out.DDCMissRate[size] = rate
+		}
+	}
+	out.MisspecPairs = annotatePairs(res.MisspecPairs, prog)
+	return out
+}
+
+// annotatePairs flattens a pair→count map into the public, deterministically
+// ordered and (when prog is available) disassembly-annotated form.
+func annotatePairs(counts map[memdep.PairKey]uint64, prog *program.Program) []PairCount {
+	if len(counts) == 0 {
+		return nil
+	}
+	out := make([]PairCount, 0, len(counts))
+	for _, pc := range memdep.SortedPairCounts(counts) {
+		p := PairCount{StorePC: pc.Pair.StorePC, LoadPC: pc.Pair.LoadPC, Count: pc.N}
+		if prog != nil {
+			p.StoreIndex = prog.Index(pc.Pair.StorePC)
+			p.LoadIndex = prog.Index(pc.Pair.LoadPC)
+			p.Store = fmt.Sprint(prog.Code[p.StoreIndex])
+			p.Load = fmt.Sprint(prog.Code[p.LoadIndex])
+		}
+		out = append(out, p)
+	}
+	return out
+}

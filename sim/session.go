@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"memdep/internal/engine"
+	"memdep/internal/experiments"
+	"memdep/internal/multiscalar"
+	"memdep/internal/program"
+	"memdep/internal/workload"
+)
+
+// Session is a handle on one simulation service: a job engine with every
+// evaluation layer registered and a memoized result cache shared by every
+// request that runs through it.  A Session is safe for concurrent use; the
+// HTTP service serves all requests from one.
+type Session struct {
+	eng      *engine.Engine
+	defaults Request
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithWorkers sets the engine worker-pool size (0 or unset = GOMAXPROCS).
+// Grid requests fan out over this pool; results are identical at every size.
+func WithWorkers(n int) Option {
+	return func(s *Session) { s.eng = experiments.NewEngine(n) }
+}
+
+// WithDefaults overlays the non-zero fields of req onto every request the
+// session runs, before the package defaults apply.  Use it to pin a session
+// to, say, a stepped-core or a bounded-instruction configuration.
+func WithDefaults(req Request) Option {
+	return func(s *Session) { s.defaults = req }
+}
+
+// NewSession creates a session with a fresh engine and cache.
+func NewSession(opts ...Option) *Session {
+	s := &Session{}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.eng == nil {
+		s.eng = experiments.NewEngine(0)
+	}
+	return s
+}
+
+// Stats is a snapshot of the session's engine counters.
+type Stats struct {
+	// Workers is the worker-pool size.
+	Workers int `json:"workers"`
+	// Executed counts jobs actually computed (cache misses).
+	Executed uint64 `json:"executed"`
+	// Hits counts jobs served from the cache or deduplicated onto an
+	// in-flight computation.
+	Hits uint64 `json:"hits"`
+	// CachedJobs is the number of memoized jobs.
+	CachedJobs int `json:"cached_jobs"`
+}
+
+// Stats returns a snapshot of the session's engine counters.
+func (s *Session) Stats() Stats {
+	return Stats{
+		Workers:    s.eng.Workers(),
+		Executed:   s.eng.Executed(),
+		Hits:       s.eng.Hits(),
+		CachedJobs: s.eng.CacheLen(),
+	}
+}
+
+// overlay fills the zero fields of req from the session defaults.
+func (s *Session) overlay(req Request) Request {
+	d := s.defaults
+	if req.Stages == 0 {
+		req.Stages = d.Stages
+	}
+	if req.Policy == "" {
+		req.Policy = d.Policy
+	}
+	if req.Core == "" {
+		req.Core = d.Core
+	}
+	if req.Scale == 0 {
+		req.Scale = d.Scale
+	}
+	if req.MaxInstructions == 0 {
+		req.MaxInstructions = d.MaxInstructions
+	}
+	if req.MDPTEntries == 0 {
+		req.MDPTEntries = d.MDPTEntries
+	}
+	if req.Predictor == "" {
+		req.Predictor = d.Predictor
+	}
+	if req.MDPTWays == 0 {
+		req.MDPTWays = d.MDPTWays
+	}
+	if req.DDCSizes == nil {
+		req.DDCSizes = d.DDCSizes
+	}
+	return req
+}
+
+// Run executes one simulation request (memoized: repeating a request is
+// served from the session cache) and returns the result with its
+// mis-speculated pairs annotated.
+func (s *Session) Run(ctx context.Context, req Request) (*Result, error) {
+	results, err := s.RunGrid(ctx, []Request{req})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// itemKey groups grid requests that share a preprocessed work item.
+type itemKey struct {
+	bench string
+	scale int
+	max   uint64
+}
+
+// RunGrid executes a set of simulation requests as one job set: the whole
+// grid is declared up front, fans out over the engine's worker pool, and
+// shares the session cache, so requests that differ only in policy or stage
+// count build and preprocess their workload exactly once.  Results are
+// positional: results[i] answers reqs[i].
+func (s *Session) RunGrid(ctx context.Context, reqs []Request) ([]*Result, error) {
+	type planned struct {
+		req  Request
+		key  itemKey
+		spec multiscalar.SimulateJob
+		ref  engine.Ref
+	}
+	plan := make([]planned, len(reqs))
+	b := s.eng.NewBatch()
+	for i, req := range reqs {
+		req = s.overlay(req)
+		if err := req.Validate(); err != nil {
+			if len(reqs) > 1 {
+				return nil, fmt.Errorf("request %d: %w", i, err)
+			}
+			return nil, err
+		}
+		req = req.Normalize()
+		scale, err := req.scale()
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := req.config()
+		if err != nil {
+			return nil, err
+		}
+		spec := multiscalar.SimulateJob{
+			Item: multiscalar.PreprocessJob{
+				Program: workload.BuildJob{Name: req.Bench, Scale: scale},
+				Trace:   req.traceConfig(),
+			},
+			Config: cfg,
+		}
+		plan[i] = planned{
+			req:  req,
+			key:  itemKey{req.Bench, scale, req.MaxInstructions},
+			spec: spec,
+			ref:  b.Add(spec),
+		}
+	}
+	if err := b.Run(ctx); err != nil {
+		return nil, err
+	}
+
+	// Resolve each distinct work item (and its program) once for annotation;
+	// both are cache hits since the simulations above already computed them.
+	type annotation struct {
+		prog *program.Program
+		item *multiscalar.WorkItem
+	}
+	annotations := map[itemKey]annotation{}
+	for _, p := range plan {
+		if _, ok := annotations[p.key]; ok {
+			continue
+		}
+		prog, err := engine.Resolve[*program.Program](ctx, s.eng, p.spec.Item.(multiscalar.PreprocessJob).Program)
+		if err != nil {
+			return nil, err
+		}
+		item, err := engine.Resolve[*multiscalar.WorkItem](ctx, s.eng, p.spec.Item)
+		if err != nil {
+			return nil, err
+		}
+		annotations[p.key] = annotation{prog: prog, item: item}
+	}
+
+	results := make([]*Result, len(plan))
+	for i, p := range plan {
+		res := engine.Get[multiscalar.Result](b, p.ref)
+		a := annotations[p.key]
+		results[i] = newResult(p.req, res, a.item, a.prog)
+	}
+	return results, nil
+}
+
+// Prepared is a preprocessed simulation that Execute runs from scratch on
+// every call, bypassing the session cache.  It exists for benchmarking
+// (cmd/memdep-perf times repeated executions); ordinary clients should use
+// Run, which is memoized.
+type Prepared struct {
+	req  Request
+	item *multiscalar.WorkItem
+	cfg  multiscalar.Config
+}
+
+// Prepare validates the request and resolves its work item through the
+// session cache.
+func (s *Session) Prepare(ctx context.Context, req Request) (*Prepared, error) {
+	req = s.overlay(req)
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	req = req.Normalize()
+	scale, err := req.scale()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := req.config()
+	if err != nil {
+		return nil, err
+	}
+	item, err := engine.Resolve[*multiscalar.WorkItem](ctx, s.eng, multiscalar.PreprocessJob{
+		Program: workload.BuildJob{Name: req.Bench, Scale: scale},
+		Trace:   req.traceConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{req: req, item: item, cfg: cfg}, nil
+}
+
+// Tasks returns the number of dynamic tasks in the prepared work item.
+func (p *Prepared) Tasks() int { return p.item.Tasks() }
+
+// Execute runs the simulation once, uncached.  The result skips the
+// static-pair annotation (no program image is attached).
+func (p *Prepared) Execute(ctx context.Context) (*Result, error) {
+	res, err := multiscalar.SimulateContext(ctx, p.item, p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(p.req, res, p.item, nil), nil
+}
+
+// Benchmark describes one synthetic workload of the suite.
+type Benchmark struct {
+	// Name is the benchmark name as used in the paper's tables.
+	Name string `json:"name"`
+	// Suite is the benchmark suite ("SPECint92", "SPECint95", "SPECfp95").
+	Suite string `json:"suite"`
+	// Description summarises the original program and its synthetic stand-in.
+	Description string `json:"description"`
+	// DefaultScale is the scale used by full experiment runs.
+	DefaultScale int `json:"default_scale"`
+}
+
+// Benchmarks lists the synthetic workload suite in name order.
+func Benchmarks() []Benchmark {
+	names := workload.Names()
+	out := make([]Benchmark, 0, len(names))
+	for _, name := range names {
+		w := workload.MustGet(name)
+		out = append(out, Benchmark{
+			Name:         w.Name,
+			Suite:        w.Suite.String(),
+			Description:  w.Description,
+			DefaultScale: w.DefaultScale,
+		})
+	}
+	return out
+}

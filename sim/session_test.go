@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"memdep/internal/multiscalar"
+	"memdep/internal/policy"
+	"memdep/internal/trace"
+	"memdep/internal/workload"
+)
+
+// TestRunMatchesInternalSimulator checks the facade end to end: a Run through
+// the session produces exactly the numbers the internal simulator produces
+// for the equivalent hand-assembled configuration.
+func TestRunMatchesInternalSimulator(t *testing.T) {
+	s := NewSession(WithWorkers(2))
+	req := Request{Bench: "compress", Stages: 8, Policy: PolicyESync, MaxInstructions: 40_000}
+	res, err := s.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	item, err := multiscalar.Preprocess(workload.MustGet("compress").Build(workload.MustGet("compress").DefaultScale),
+		trace.Config{MaxInstructions: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := multiscalar.Simulate(item, multiscalar.DefaultConfig(8, policy.ESync))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Cycles != want.Cycles {
+		t.Errorf("cycles = %d, want %d", res.Cycles, want.Cycles)
+	}
+	if res.Instructions != want.Instructions || res.Loads != want.Loads {
+		t.Errorf("work = %d/%d, want %d/%d", res.Instructions, res.Loads, want.Instructions, want.Loads)
+	}
+	if res.Misspeculations != want.Misspeculations {
+		t.Errorf("misspeculations = %d, want %d", res.Misspeculations, want.Misspeculations)
+	}
+	if res.IPC != want.IPC() {
+		t.Errorf("IPC = %v, want %v", res.IPC, want.IPC())
+	}
+	if res.Cycles == 0 || res.IPC <= 0 {
+		t.Error("degenerate result")
+	}
+	if res.AvgTaskSize != item.AvgTaskSize() {
+		t.Errorf("avg task size = %v, want %v", res.AvgTaskSize, item.AvgTaskSize())
+	}
+	if len(res.MisspecPairs) == 0 || res.MisspecPairs[0].Store == "" {
+		t.Error("mis-speculated pairs must be annotated with disassembly")
+	}
+	if res.Request.Stages != 8 || res.Request.Policy != PolicyESync || res.Request.Scale == 0 {
+		t.Errorf("result must echo the normalized request, got %+v", res.Request)
+	}
+}
+
+// TestRunGridSharesWorkItems checks the cache contract: a grid over policies
+// and stage counts preprocesses the benchmark once.
+func TestRunGridSharesWorkItems(t *testing.T) {
+	s := NewSession(WithWorkers(4))
+	var reqs []Request
+	for _, stages := range []int{4, 8} {
+		for _, pol := range []Policy{PolicyAlways, PolicySync, PolicyESync} {
+			reqs = append(reqs, Request{Bench: "sc", Stages: stages, Policy: pol, MaxInstructions: 30_000})
+		}
+	}
+	results, err := s.RunGrid(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+	}
+	for i, res := range results {
+		if res.Cycles == 0 {
+			t.Errorf("result %d has zero cycles", i)
+		}
+		if res.Request.Stages != reqs[i].Stages || res.Request.Policy != reqs[i].Policy {
+			t.Errorf("result %d answers the wrong request: %+v", i, res.Request)
+		}
+	}
+	// 1 build + 1 preprocess + 6 simulations.
+	if st := s.Stats(); st.Executed != 8 {
+		t.Errorf("executed %d jobs, want 8 (shared work item)", st.Executed)
+	}
+
+	// Re-running the same grid is served entirely from the cache.
+	before := s.Stats().Executed
+	if _, err := s.RunGrid(context.Background(), reqs); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Stats().Executed; after != before {
+		t.Errorf("re-run executed %d new jobs, want 0", after-before)
+	}
+}
+
+// TestRunGridPositionalAndDeterministic checks that results are positional
+// and byte-identical at every worker count.
+func TestRunGridPositionalAndDeterministic(t *testing.T) {
+	reqs := []Request{
+		{Bench: "compress", Stages: 8, Policy: PolicyESync, MaxInstructions: 20_000},
+		{Bench: "compress", Stages: 4, Policy: PolicyAlways, MaxInstructions: 20_000},
+		{Bench: "xlisp", Stages: 8, Policy: PolicySync, MaxInstructions: 20_000},
+	}
+	render := func(workers int) string {
+		s := NewSession(WithWorkers(workers))
+		results, err := s.RunGrid(context.Background(), reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	one := render(1)
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); got != one {
+			t.Errorf("results differ between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestRunGridValidationError checks that an invalid request in a grid is
+// rejected up front with its index and structured fields.
+func TestRunGridValidationError(t *testing.T) {
+	s := NewSession()
+	_, err := s.RunGrid(context.Background(), []Request{
+		{Bench: "compress", MaxInstructions: 10_000},
+		{Bench: "no-such-bench"},
+	})
+	if err == nil {
+		t.Fatal("grid with an invalid request must fail")
+	}
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error is %T, want wrapped *ValidationError", err)
+	}
+	if verr.Fields[0].Field != "bench" {
+		t.Errorf("field = %q, want bench", verr.Fields[0].Field)
+	}
+}
+
+// TestRunHonoursCancellation checks that a cancelled context aborts a run.
+func TestRunHonoursCancellation(t *testing.T) {
+	s := NewSession(WithWorkers(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Run(ctx, Request{Bench: "compress", MaxInstructions: 10_000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	// The cancellation must not poison the cache for a live caller.
+	res, err := s.Run(context.Background(), Request{Bench: "compress", MaxInstructions: 10_000})
+	if err != nil || res.Cycles == 0 {
+		t.Fatalf("fresh run after cancellation: %v, %+v", err, res)
+	}
+}
+
+// TestSessionDefaults checks WithDefaults overlays and per-request overrides.
+func TestSessionDefaults(t *testing.T) {
+	s := NewSession(WithDefaults(Request{MaxInstructions: 15_000, Stages: 4, Policy: PolicyAlways}))
+	res, err := s.Run(context.Background(), Request{Bench: "compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Request.Stages != 4 || res.Request.Policy != PolicyAlways || res.Request.MaxInstructions != 15_000 {
+		t.Errorf("defaults not applied: %+v", res.Request)
+	}
+	res, err = s.Run(context.Background(), Request{Bench: "compress", Stages: 8, Policy: PolicyNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Request.Stages != 8 || res.Request.Policy != PolicyNever {
+		t.Errorf("per-request override lost: %+v", res.Request)
+	}
+}
+
+// TestResultJSONRoundTrip checks the public result round-trips through JSON.
+func TestResultJSONRoundTrip(t *testing.T) {
+	s := NewSession()
+	res, err := s.Run(context.Background(), Request{
+		Bench: "compress", Policy: PolicyAlways, MaxInstructions: 20_000, DDCSizes: []int{32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DDCMissRate) == 0 || len(res.MisspecPairs) == 0 {
+		t.Fatal("test needs a result with DDC rates and pairs")
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*res, back) {
+		t.Fatalf("result did not round trip:\n got %+v\nwant %+v", back, *res)
+	}
+}
+
+// TestPreparedExecute checks the uncached benchmarking path agrees with the
+// memoized one.
+func TestPreparedExecute(t *testing.T) {
+	s := NewSession()
+	req := Request{Bench: "xlisp", Policy: PolicyESync, MaxInstructions: 20_000}
+	p, err := s.Prepare(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tasks() == 0 {
+		t.Error("prepared work item has no tasks")
+	}
+	r1, err := p.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Errorf("uncached execute: %d cycles, memoized run: %d", r1.Cycles, r2.Cycles)
+	}
+}
+
+// TestBenchmarksAndExperiments checks the catalogue endpoints.
+func TestBenchmarksAndExperiments(t *testing.T) {
+	benches := Benchmarks()
+	if len(benches) < 20 {
+		t.Errorf("benchmarks = %d, want the full suite", len(benches))
+	}
+	seen := map[string]bool{}
+	for _, b := range benches {
+		if b.Name == "" || b.Suite == "" || b.DefaultScale < 1 {
+			t.Errorf("incomplete benchmark %+v", b)
+		}
+		seen[b.Name] = true
+	}
+	for _, name := range []string{"compress", "xlisp", "101.tomcatv"} {
+		if !seen[name] {
+			t.Errorf("benchmark %s missing", name)
+		}
+	}
+
+	exps := Experiments()
+	if len(exps) < 14 {
+		t.Errorf("experiments = %d", len(exps))
+	}
+
+	s := NewSession()
+	tab, err := s.RunExperiment(context.Background(), "table6", SuiteOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 || tab.Render() == "" || tab.CSV() == "" {
+		t.Error("experiment table is empty")
+	}
+	if _, err := s.RunExperiment(context.Background(), "table99", SuiteOptions{}); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
+
+// TestInspection exercises Trace, Disassemble, TaskSizes and Window.
+func TestInspection(t *testing.T) {
+	s := NewSession()
+	ctx := context.Background()
+	treq := TraceRequest{Bench: "compress", MaxInstructions: 40_000}
+
+	sum, err := s.Trace(ctx, treq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Instructions == 0 || sum.Tasks == 0 || sum.StaticInstructions == 0 {
+		t.Errorf("degenerate summary %+v", sum)
+	}
+	if sum.AvgTaskSize() <= 0 {
+		t.Error("average task size must be positive")
+	}
+
+	asm, err := s.Disassemble(ctx, treq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asm == "" {
+		t.Error("empty disassembly")
+	}
+
+	hist, err := s.TaskSizes(ctx, treq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 7 {
+		t.Fatalf("histogram has %d buckets, want 7", len(hist))
+	}
+	total := 0
+	for _, b := range hist {
+		total += b.Tasks
+	}
+	if total == 0 {
+		t.Error("histogram is empty")
+	}
+
+	wres, err := s.Window(ctx, WindowRequest{Bench: "compress", MaxInstructions: 40_000, WindowSizes: []int{64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wres) != 1 || wres[0].WindowSize != 64 || wres[0].Misspeculations == 0 {
+		t.Errorf("window result %+v", wres)
+	}
+	if len(wres[0].Pairs) == 0 || wres[0].Pairs[0].Load == "" {
+		t.Error("window pairs must be annotated")
+	}
+
+	if _, err := s.Trace(ctx, TraceRequest{Bench: "nope"}); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+
+	// WindowGrid: positional multi-benchmark analyses over one job set.
+	grids, err := s.WindowGrid(ctx, []WindowRequest{
+		{Bench: "compress", MaxInstructions: 40_000, WindowSizes: []int{64}},
+		{Bench: "espresso", MaxInstructions: 40_000, WindowSizes: []int{32, 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) != 2 || len(grids[0]) != 1 || len(grids[1]) != 2 {
+		t.Fatalf("grid shape %d/%d/%d", len(grids), len(grids[0]), len(grids[1]))
+	}
+	if !reflect.DeepEqual(grids[0], wres) {
+		t.Error("WindowGrid result differs from the equivalent Window call")
+	}
+	if _, err := s.WindowGrid(ctx, []WindowRequest{{Bench: "compress"}, {Bench: "nope"}}); err == nil ||
+		!strings.Contains(err.Error(), "request 1") {
+		t.Errorf("grid error must carry the request index, got %v", err)
+	}
+}
