@@ -1,0 +1,165 @@
+// Command benchgate is the CI benchmark-regression gate: it compares a
+// freshly generated BENCH_multiscalar.json (cmd/memdep-perf) against the
+// committed baseline and fails when a gated entry regresses beyond the
+// configured tolerance.
+//
+// Only entries whose name matches -prefix are gated (default: the
+// simulate/event micro-benchmarks, the repo's hot path).  Time regressions
+// are judged per-op (ns_per_op) against -time-tolerance; allocation
+// regressions (allocs_per_op) against the much tighter -alloc-tolerance,
+// because allocation counts are deterministic where wall-clock time is
+// noisy.  Entries that are faster or leaner than the baseline always pass; a
+// gated baseline entry missing from the candidate fails, so a benchmark
+// cannot dodge the gate by disappearing.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_multiscalar.json -candidate /tmp/new.json
+//	benchgate -baseline ... -candidate ... -time-tolerance 0.5 -prefix simulate/
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// record mirrors the benchmark records of cmd/memdep-perf.
+type record struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Seconds     float64 `json:"seconds,omitempty"`
+}
+
+// report mirrors the file shape of cmd/memdep-perf.
+type report struct {
+	Go         string   `json:"go"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baseline  = fs.String("baseline", "BENCH_multiscalar.json", "committed benchmark file")
+		candidate = fs.String("candidate", "", "freshly generated benchmark file (required)")
+		prefix    = fs.String("prefix", "simulate/event", "gate entries whose name starts with this prefix")
+		timeTol   = fs.Float64("time-tolerance", 0.5, "allowed fractional ns/op regression (0.5 = +50%)")
+		allocTol  = fs.Float64("alloc-tolerance", 0.1, "allowed fractional allocs/op regression")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *candidate == "" {
+		fmt.Fprintln(stderr, "benchgate: -candidate is required")
+		return 2
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	cand, err := load(*candidate)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	failures := gate(base, cand, *prefix, *timeTol, *allocTol, stdout)
+	if failures > 0 {
+		fmt.Fprintf(stderr, "benchgate: %d regression(s) beyond tolerance (time +%.0f%%, allocs +%.0f%%)\n",
+			failures, *timeTol*100, *allocTol*100)
+		return 1
+	}
+	fmt.Fprintln(stdout, "benchgate: ok")
+	return 0
+}
+
+// load reads and decodes one benchmark report.
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// gate compares every gated baseline entry against the candidate, printing
+// one verdict line per entry, and returns the number of failures.
+func gate(base, cand *report, prefix string, timeTol, allocTol float64, w io.Writer) int {
+	byName := make(map[string]record, len(cand.Benchmarks))
+	for _, r := range cand.Benchmarks {
+		byName[r.Name] = r
+	}
+	failures := 0
+	for _, b := range base.Benchmarks {
+		if !strings.HasPrefix(b.Name, prefix) {
+			continue
+		}
+		c, ok := byName[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "FAIL %s: present in baseline, missing from candidate\n", b.Name)
+			failures++
+			continue
+		}
+		ok = true
+		if bad := exceeds(b.NsPerOp, c.NsPerOp, timeTol); bad != "" {
+			fmt.Fprintf(w, "FAIL %s: ns/op %s\n", b.Name, bad)
+			failures++
+			ok = false
+		}
+		if bad := exceeds(b.AllocsPerOp, c.AllocsPerOp, allocTol); bad != "" {
+			fmt.Fprintf(w, "FAIL %s: allocs/op %s\n", b.Name, bad)
+			failures++
+			ok = false
+		}
+		if ok {
+			fmt.Fprintf(w, "ok   %s: ns/op %d -> %d (%+.1f%%), allocs/op %d -> %d\n",
+				b.Name, b.NsPerOp, c.NsPerOp, delta(b.NsPerOp, c.NsPerOp)*100,
+				b.AllocsPerOp, c.AllocsPerOp)
+		}
+	}
+	return failures
+}
+
+// delta returns the fractional change from base to cand.
+func delta(base, cand int64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return float64(cand-base) / float64(base)
+}
+
+// exceeds reports a non-empty description when cand regresses past the
+// tolerance relative to base.  A base of 0 gates nothing (the metric was not
+// recorded); a candidate of 0 against a live baseline fails -- a metric that
+// stops being emitted must not read as an infinite improvement.
+// Improvements never fail.
+func exceeds(base, cand int64, tol float64) string {
+	if base <= 0 {
+		return ""
+	}
+	if cand <= 0 {
+		return fmt.Sprintf("%d -> %d (metric missing from candidate)", base, cand)
+	}
+	if d := delta(base, cand); d > tol {
+		return fmt.Sprintf("%d -> %d (%+.1f%%, tolerance +%.0f%%)", base, cand, d*100, tol*100)
+	}
+	return ""
+}

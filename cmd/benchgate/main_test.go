@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops a benchmark report into dir and returns its path.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseline = `{
+  "go": "go1.24.0",
+  "benchmarks": [
+    {"name": "simulate/event", "ns_per_op": 1000, "allocs_per_op": 100},
+    {"name": "simulate/event/setassoc", "ns_per_op": 800, "allocs_per_op": 100},
+    {"name": "simulate/stepped", "ns_per_op": 1100, "allocs_per_op": 100},
+    {"name": "sweep/quick/event/jobs=1", "seconds": 1.5}
+  ]
+}`
+
+func runGate(t *testing.T, baselineJSON, candidateJSON string, extra ...string) (int, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	args := append([]string{
+		"-baseline", write(t, dir, "base.json", baselineJSON),
+		"-candidate", write(t, dir, "cand.json", candidateJSON),
+	}, extra...)
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestPassWithinTolerance(t *testing.T) {
+	cand := strings.ReplaceAll(baseline, `"ns_per_op": 1000`, `"ns_per_op": 1400`) // +40% < 50%
+	code, out, stderr := runGate(t, baseline, cand)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "benchgate: ok") || strings.Contains(out, "FAIL") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestImprovementAlwaysPasses(t *testing.T) {
+	cand := strings.ReplaceAll(baseline, `"ns_per_op": 1000`, `"ns_per_op": 100`)
+	if code, _, stderr := runGate(t, baseline, cand); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+}
+
+func TestTimeRegressionFails(t *testing.T) {
+	cand := strings.ReplaceAll(baseline, `"ns_per_op": 800`, `"ns_per_op": 2000`) // +150%
+	code, out, _ := runGate(t, baseline, cand)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "FAIL simulate/event/setassoc: ns/op") {
+		t.Errorf("output:\n%s", out)
+	}
+	// A wider tolerance lets the same candidate through.
+	if code, _, _ := runGate(t, baseline, cand, "-time-tolerance", "2.0"); code != 0 {
+		t.Error("tolerance 2.0 should pass a +150% regression")
+	}
+}
+
+func TestAllocRegressionFails(t *testing.T) {
+	cand := strings.ReplaceAll(baseline, `"allocs_per_op": 100}`, `"allocs_per_op": 120}`) // +20% > 10%
+	code, out, _ := runGate(t, baseline, cand)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "allocs/op") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestMissingEntryFails(t *testing.T) {
+	cand := strings.Replace(baseline, `{"name": "simulate/event/setassoc", "ns_per_op": 800, "allocs_per_op": 100},`, "", 1)
+	code, out, _ := runGate(t, baseline, cand)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "missing from candidate") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestPrefixSelectsGatedEntries(t *testing.T) {
+	// A stepped-core regression is outside the default simulate/event gate...
+	cand := strings.ReplaceAll(baseline, `"ns_per_op": 1100`, `"ns_per_op": 9000`)
+	if code, _, _ := runGate(t, baseline, cand); code != 0 {
+		t.Fatal("simulate/stepped should not be gated by default")
+	}
+	// ...but fails under -prefix simulate/.
+	if code, _, _ := runGate(t, baseline, cand, "-prefix", "simulate/"); code != 1 {
+		t.Fatal("-prefix simulate/ should gate the stepped core")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if code, _, _ := runGate(t, "{not json", baseline); code != 2 {
+		t.Error("malformed baseline should exit 2")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", "nope.json"}, &stdout, &stderr); code != 2 {
+		t.Error("missing -candidate should exit 2")
+	}
+	if code := run([]string{"-baseline", "does-not-exist.json", "-candidate", "also-missing.json"}, &stdout, &stderr); code != 2 {
+		t.Error("unreadable files should exit 2")
+	}
+}
+
+func TestZeroMetricFails(t *testing.T) {
+	// A gated metric that stops being emitted must not read as an
+	// infinite improvement.
+	cand := strings.ReplaceAll(baseline, `"ns_per_op": 1000`, `"ns_per_op": 0`)
+	code, out, _ := runGate(t, baseline, cand)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "metric missing from candidate") {
+		t.Errorf("output:\n%s", out)
+	}
+}

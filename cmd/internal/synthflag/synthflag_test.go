@@ -1,0 +1,101 @@
+package synthflag
+
+import (
+	"flag"
+	"io"
+	"reflect"
+	"testing"
+
+	"memdep/sim"
+)
+
+func parse(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestUnused(t *testing.T) {
+	spec, err := parse(t).Spec()
+	if err != nil || spec != nil {
+		t.Fatalf("no flags: spec %+v err %v", spec, err)
+	}
+}
+
+func TestEnableAlone(t *testing.T) {
+	spec, err := parse(t, "-synth").Spec()
+	if err != nil || spec == nil {
+		t.Fatalf("-synth: spec %+v err %v", spec, err)
+	}
+	if !reflect.DeepEqual(spec, &sim.SynthSpec{}) {
+		t.Errorf("-synth alone should give the zero spec, got %+v", spec)
+	}
+}
+
+func TestParameterImpliesSynth(t *testing.T) {
+	spec, err := parse(t, "-synth-seed", "9", "-synth-alias", "4").Spec()
+	if err != nil || spec == nil {
+		t.Fatalf("spec %+v err %v", spec, err)
+	}
+	if spec.Seed != 9 || spec.AliasSetSize != 4 {
+		t.Errorf("got %+v", spec)
+	}
+}
+
+func TestDistHistogram(t *testing.T) {
+	spec, err := parse(t, "-synth-dist", "8:4, 32:2 ,128").Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.DistBucket{{Dist: 8, Weight: 4}, {Dist: 32, Weight: 2}, {Dist: 128, Weight: 1}}
+	if !reflect.DeepEqual(spec.DepDists, want) {
+		t.Errorf("got %+v want %+v", spec.DepDists, want)
+	}
+	for _, bad := range []string{"x", "8:y", ","} {
+		if _, err := parse(t, "-synth-dist", bad).Spec(); err == nil {
+			t.Errorf("dist %q: expected an error", bad)
+		}
+	}
+}
+
+func TestResolveBench(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	bench := fs.String("bench", "compress", "")
+	f := Register(fs)
+	if err := fs.Parse([]string{"-synth-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	name, spec, err := f.ResolveBench(*bench)
+	if err != nil || name != "" || spec == nil || spec.Seed != 3 {
+		t.Fatalf("name %q spec %+v err %v", name, spec, err)
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	bench = fs.String("bench", "compress", "")
+	f = Register(fs)
+	if err := fs.Parse([]string{"-bench", "sc", "-synth"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.ResolveBench(*bench); err == nil {
+		t.Fatal("explicit -bench with -synth should conflict")
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	bench = fs.String("bench", "compress", "")
+	f = Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	name, spec, err = f.ResolveBench(*bench)
+	if err != nil || name != "compress" || spec != nil {
+		t.Fatalf("default bench: name %q spec %+v err %v", name, spec, err)
+	}
+}

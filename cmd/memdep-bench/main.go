@@ -13,6 +13,11 @@
 //	memdep-bench -csv                # emit CSV instead of aligned text
 //	memdep-bench -jobs 16            # size of the parallel worker pool
 //	memdep-bench -md EXPERIMENTS.md  # regenerate the markdown results file
+//
+// The -synth flag family rebases the sensitivity-synth experiment on a
+// custom generated workload:
+//
+//	memdep-bench -experiment sensitivity-synth -synth-seed 9 -synth-ops 100000
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"memdep/cmd/internal/synthflag"
 	"memdep/sim"
 )
 
@@ -49,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		md         = fs.String("md", "", "write the results as markdown to this file (e.g. EXPERIMENTS.md)")
 		core       = fs.String("core", "event", "timing-simulator run loop: \"event\" or the \"stepped\" reference (identical output)")
 	)
+	synth := synthflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -63,6 +70,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	synthSpec, err := synth.Spec()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 	opts := sim.SuiteOptions{
 		Quick:           *quick,
 		Scale:           *scale,
@@ -71,6 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Predictor:       sim.TableKind(*predName),
 		MDPTWays:        *ways,
 		Core:            sim.CoreMode(*core),
+		Synth:           synthSpec,
 	}
 	session := sim.NewSession(sim.WithWorkers(*jobs))
 
@@ -153,6 +166,9 @@ func writeMarkdownHeader(b *strings.Builder, opts sim.SuiteOptions) {
 		// reported ways are the clamped values the tables ran with.
 		eff := sim.Request{MDPTEntries: opts.MDPTEntries, Predictor: opts.Predictor, MDPTWays: opts.MDPTWays}.Normalize()
 		bounds = append(bounds, fmt.Sprintf("%s predictor organization (%d ways)", eff.Predictor, eff.MDPTWays))
+	}
+	if opts.Synth != nil {
+		bounds = append(bounds, fmt.Sprintf("sensitivity-synth base spec %s", opts.Synth.CanonicalJSON()))
 	}
 	if len(bounds) > 0 {
 		fmt.Fprintf(b, "Run bounds: %s.\n\n", strings.Join(bounds, ", "))

@@ -302,3 +302,61 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Error("listener still accepting connections after shutdown")
 	}
 }
+
+// TestSynthSimulate drives a synthetic-workload request through the service:
+// the same spec+seed must be seed-reproducible over HTTP (identical bodies
+// across calls and across a server restart), different seeds must differ,
+// and spec problems must come back as structured 400s.
+func TestSynthSimulate(t *testing.T) {
+	ts := newTestServer(t)
+	body := `{"synth":{"seed":7,"ops":8192,"body":128,"alias_set_size":4},"policy":"ESYNC"}`
+
+	status, first := do(t, "POST", ts.URL+"/v1/simulate", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, first)
+	}
+	var res sim.Result
+	if err := json.Unmarshal(first, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Instructions == 0 {
+		t.Errorf("empty result: %d cycles, %d instructions", res.Cycles, res.Instructions)
+	}
+	if res.Request.Synth == nil || res.Request.Synth.Seed != 7 || res.Request.Synth.Name != "synth" {
+		t.Errorf("result does not echo the normalized spec: %+v", res.Request.Synth)
+	}
+
+	// Repeating the request (memoized) and replaying it against a fresh
+	// server (recomputed) both reproduce the response byte for byte.
+	if _, again := do(t, "POST", ts.URL+"/v1/simulate", body); string(again) != string(first) {
+		t.Error("repeated synthetic request changed the response")
+	}
+	ts2 := newTestServer(t)
+	if _, fresh := do(t, "POST", ts2.URL+"/v1/simulate", body); string(fresh) != string(first) {
+		t.Error("synthetic request is not reproducible across server instances")
+	}
+
+	// A different seed is a different workload.
+	otherBody := strings.Replace(body, `"seed":7`, `"seed":8`, 1)
+	if _, other := do(t, "POST", ts.URL+"/v1/simulate", otherBody); string(other) == string(first) {
+		t.Error("different seeds served identical results")
+	}
+
+	// bench+synth together and bad spec fields are structured 400s.
+	status, errBody := do(t, "POST", ts.URL+"/v1/simulate", `{"bench":"compress","synth":{}}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("bench+synth: status = %d", status)
+	}
+	var errResp errorResponse
+	if err := json.Unmarshal(errBody, &errResp); err != nil || len(errResp.Fields) == 0 {
+		t.Errorf("bench+synth: unstructured error %s", errBody)
+	}
+	status, errBody = do(t, "POST", ts.URL+"/v1/simulate", `{"synth":{"ops":-1,"load_frac":2}}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("bad spec: status = %d", status)
+	}
+	errResp = errorResponse{}
+	if err := json.Unmarshal(errBody, &errResp); err != nil || len(errResp.Fields) < 2 {
+		t.Errorf("bad spec: want per-field errors, got %s", errBody)
+	}
+}

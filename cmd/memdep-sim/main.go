@@ -10,6 +10,7 @@
 //	memdep-sim -bench compress -stages 8 -policy ESYNC
 //	memdep-sim -bench 101.tomcatv -policy ALWAYS -max-instructions 200000
 //	memdep-sim -bench compress -stages 4,8 -policy ALWAYS,ESYNC  # grid, in parallel
+//	memdep-sim -synth -synth-seed 7 -synth-alias 4 -policy ESYNC # generated workload
 //	memdep-sim -list
 package main
 
@@ -23,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"memdep/cmd/internal/synthflag"
 	"memdep/sim"
 )
 
@@ -47,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jobs     = fs.Int("jobs", 0, "session worker-pool size for grid runs (0 = GOMAXPROCS)")
 		core     = fs.String("core", "event", "timing-simulator run loop: \"event\" or the \"stepped\" reference (identical output)")
 	)
+	synth := synthflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -66,6 +69,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	// A synthetic spec replaces the named benchmark for every grid cell.
+	benchName, synthSpec, err := synth.ResolveBench(*bench)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 	var pols []sim.Policy
 	for _, p := range strings.Split(*polName, ",") {
 		pols = append(pols, sim.Policy(strings.TrimSpace(p)))
@@ -76,7 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, st := range stageList {
 		for _, pol := range pols {
 			reqs = append(reqs, sim.Request{
-				Bench:           *bench,
+				Bench:           benchName,
+				Synth:           synthSpec,
 				Stages:          st,
 				Policy:          pol,
 				Core:            sim.CoreMode(*core),
@@ -126,7 +136,7 @@ func parseStages(s string) ([]int, error) {
 
 func printResult(w io.Writer, res *sim.Result, topPairs int) {
 	req := res.Request
-	fmt.Fprintf(w, "benchmark        %s (scale %d)\n", req.Bench, req.Scale)
+	fmt.Fprintf(w, "benchmark        %s (scale %d)\n", req.WorkloadName(), req.Scale)
 	cfgLine := fmt.Sprintf("%d stages, policy %v, %d MDPT entries", req.Stages, req.Policy, req.MDPTEntries)
 	if req.Predictor != sim.TableFullAssoc {
 		// The request echoes the effective geometry (defaults applied, ways

@@ -46,6 +46,9 @@ func TestBadFlagsFail(t *testing.T) {
 		{"-stages", "eight"},
 		{"-core", "polling"},
 		{"-predictor", "cam"},
+		{"-bench", "compress", "-synth"},
+		{"-synth-dist", "bogus"},
+		{"-synth-ops", "-4"},
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer

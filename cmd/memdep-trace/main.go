@@ -10,6 +10,7 @@
 //	memdep-trace -bench espresso -mode disasm | head -50
 //	memdep-trace -bench sc -mode deps -window 64
 //	memdep-trace -bench xlisp -mode tasks
+//	memdep-trace -synth -synth-seed 7 -mode summary   # generated workload
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"memdep/cmd/internal/synthflag"
 	"memdep/sim"
 )
 
@@ -39,11 +41,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		top      = fs.Int("top", 10, "number of hottest dependences to print for -mode deps")
 		jobs     = fs.Int("jobs", 0, "session worker-pool size (0 = GOMAXPROCS)")
 	)
+	synth := synthflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+	benchName, synthSpec, err := synth.ResolveBench(*bench)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	// All inspection modes resolve their inputs through one session, so a
@@ -51,7 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// session cache.
 	session := sim.NewSession(sim.WithWorkers(*jobs))
 	ctx := context.Background()
-	treq := sim.TraceRequest{Bench: *bench, Scale: *scale, MaxInstructions: *maxInstr}
+	treq := sim.TraceRequest{Bench: benchName, Synth: synthSpec, Scale: *scale, MaxInstructions: *maxInstr}
 
 	switch *mode {
 	case "disasm":
@@ -83,7 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		t := sim.NewTable(fmt.Sprintf("dynamic task sizes for %s", *bench), "size", "tasks")
+		t := sim.NewTable(fmt.Sprintf("dynamic task sizes for %s", sim.Workload{Bench: benchName, Synth: synthSpec}.Name()), "size", "tasks")
 		for _, b := range hist {
 			t.AddRow(b.Label, fmt.Sprint(b.Tasks))
 		}
@@ -91,7 +99,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	case "deps":
 		results, err := session.Window(ctx, sim.WindowRequest{
-			Bench:           *bench,
+			Bench:           benchName,
+			Synth:           synthSpec,
 			Scale:           *scale,
 			MaxInstructions: *maxInstr,
 			WindowSizes:     []int{*ws},

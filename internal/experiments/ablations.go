@@ -166,6 +166,7 @@ func All() []NamedExperiment {
 		{"ablation-predictor", "prediction policy: always/SYNC/ESYNC", (*Runner).AblationPredictor},
 		{"ablation-tablesize", "MDPT size sweep", (*Runner).AblationTableSize},
 		{"sensitivity-predictor", "predictor organization: entries × ways × counter bits", (*Runner).SensitivityPredictorOrg},
+		{"sensitivity-synth", "synthetic workloads: dependence distance × alias intensity", (*Runner).SensitivitySynth},
 	}
 }
 

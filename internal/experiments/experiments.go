@@ -23,6 +23,7 @@ import (
 	"memdep/internal/multiscalar"
 	"memdep/internal/policy"
 	"memdep/internal/program"
+	"memdep/internal/synth"
 	"memdep/internal/trace"
 	"memdep/internal/window"
 	"memdep/internal/workload"
@@ -57,6 +58,11 @@ type Options struct {
 	// set (0 = GOMAXPROCS).  The results are identical at every setting;
 	// only the wall-clock time changes.
 	Jobs int
+	// SynthBase overrides the base synthetic-workload spec swept by the
+	// sensitivity-synth driver (nil = the synth package defaults).  The
+	// driver varies the dependence-distance histogram and alias-set size on
+	// top of this base.
+	SynthBase *synth.Spec
 }
 
 // Quick returns options suitable for unit tests and Go benchmarks: the same
@@ -82,12 +88,13 @@ func (o Options) withDefaults() Options {
 }
 
 // NewEngine creates a job engine with every evaluation layer registered:
-// workload building, functional tracing, window analysis, Multiscalar
-// preprocessing and timing simulation.
+// workload building (committed suite and synthetic generator), functional
+// tracing, window analysis, Multiscalar preprocessing and timing simulation.
 func NewEngine(workers int) *engine.Engine {
 	e := engine.New(workers)
 	e.Register(
 		workload.BuildSimulator(),
+		synth.BuildSimulator(),
 		trace.RunSimulator(),
 		window.AnalyzeSimulator(),
 		multiscalar.PreprocessSimulator(),

@@ -1,0 +1,37 @@
+package synth
+
+// rng is a self-contained splitmix64 generator.  The generator is part of
+// the workload-identity contract: a Spec's program must be byte-identical
+// across Go versions, platforms and time, so the package cannot depend on
+// math/rand sequence stability.
+type rng struct {
+	state uint64
+}
+
+// newRNG seeds a generator.  Every seed (including 0) is a distinct stream.
+func newRNG(seed uint64) *rng {
+	return &rng{state: seed}
+}
+
+// next returns the next 64 random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).  The slight modulo bias is irrelevant for
+// workload generation (n is always far below 2^32).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float returns a value in [0, 1) with 53 random bits.
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

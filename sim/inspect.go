@@ -8,42 +8,25 @@ import (
 	"memdep/internal/program"
 	"memdep/internal/trace"
 	"memdep/internal/window"
-	"memdep/internal/workload"
 )
 
 // TraceRequest describes a functional (non-timing) inspection of a
-// benchmark: the committed instruction stream of the paper's "total order".
+// workload: the committed instruction stream of the paper's "total order".
 type TraceRequest struct {
-	// Bench names the benchmark (required).
-	Bench string `json:"bench"`
+	// Bench names the benchmark.  Exactly one of Bench or Synth must be set.
+	Bench string `json:"bench,omitempty"`
+	// Synth describes an inline synthetic workload instead of a named
+	// benchmark.
+	Synth *SynthSpec `json:"synth,omitempty"`
 	// Scale overrides the workload scale (0 = the benchmark's default).
 	Scale int `json:"scale,omitempty"`
 	// MaxInstructions caps the committed instructions (0 = unlimited).
 	MaxInstructions uint64 `json:"max_instructions,omitempty"`
 }
 
-// validate resolves the workload and effective scale.
-func (r TraceRequest) validate() (workload.Workload, int, error) {
-	w, err := workload.Get(r.Bench)
-	if err != nil {
-		v := &ValidationError{}
-		if r.Bench == "" {
-			v.add("bench", "", "benchmark name is required")
-		} else {
-			v.add("bench", r.Bench, "unknown benchmark")
-		}
-		return workload.Workload{}, 0, v
-	}
-	if r.Scale < 0 {
-		v := &ValidationError{}
-		v.add("scale", fmt.Sprint(r.Scale), "must not be negative")
-		return workload.Workload{}, 0, v
-	}
-	scale := r.Scale
-	if scale == 0 {
-		scale = w.DefaultScale
-	}
-	return w, scale, nil
+// validate resolves the workload's metadata, effective scale and program job.
+func (r TraceRequest) validate() (workloadMeta, error) {
+	return resolveWorkload(r.Bench, r.Synth, r.Scale)
 }
 
 // TraceSummary reports the static shape and committed dynamic stream of a
@@ -76,27 +59,26 @@ func (s *TraceSummary) AvgTaskSize() float64 {
 // Trace runs the benchmark on the functional simulator (memoized) and
 // summarises it.
 func (s *Session) Trace(ctx context.Context, req TraceRequest) (*TraceSummary, error) {
-	w, scale, err := req.validate()
+	m, err := req.validate()
 	if err != nil {
 		return nil, err
 	}
-	progSpec := workload.BuildJob{Name: req.Bench, Scale: scale}
-	prog, err := engine.Resolve[*program.Program](ctx, s.eng, progSpec)
+	prog, err := engine.Resolve[*program.Program](ctx, s.eng, m.job)
 	if err != nil {
 		return nil, err
 	}
 	st, err := engine.Resolve[trace.Stats](ctx, s.eng, trace.RunJob{
-		Program: progSpec,
+		Program: m.job,
 		Config:  trace.Config{MaxInstructions: req.MaxInstructions},
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &TraceSummary{
-		Bench:              w.Name,
-		Suite:              w.Suite.String(),
-		Description:        w.Description,
-		Scale:              scale,
+		Bench:              m.name,
+		Suite:              m.suite,
+		Description:        m.description,
+		Scale:              m.scale,
 		StaticInstructions: prog.Len(),
 		StaticLoads:        len(prog.StaticLoads()),
 		StaticStores:       len(prog.StaticStores()),
@@ -108,13 +90,13 @@ func (s *Session) Trace(ctx context.Context, req TraceRequest) (*TraceSummary, e
 	}, nil
 }
 
-// Disassemble returns the benchmark's full static disassembly.
+// Disassemble returns the workload's full static disassembly.
 func (s *Session) Disassemble(ctx context.Context, req TraceRequest) (string, error) {
-	_, scale, err := req.validate()
+	m, err := req.validate()
 	if err != nil {
 		return "", err
 	}
-	prog, err := engine.Resolve[*program.Program](ctx, s.eng, workload.BuildJob{Name: req.Bench, Scale: scale})
+	prog, err := engine.Resolve[*program.Program](ctx, s.eng, m.job)
 	if err != nil {
 		return "", err
 	}
@@ -142,11 +124,11 @@ var taskSizeBuckets = []struct {
 // TaskSizes histograms the benchmark's dynamic task sizes.  Every bucket is
 // present in range order, including empty ones.
 func (s *Session) TaskSizes(ctx context.Context, req TraceRequest) ([]TaskSizeBucket, error) {
-	_, scale, err := req.validate()
+	m, err := req.validate()
 	if err != nil {
 		return nil, err
 	}
-	prog, err := engine.Resolve[*program.Program](ctx, s.eng, workload.BuildJob{Name: req.Bench, Scale: scale})
+	prog, err := engine.Resolve[*program.Program](ctx, s.eng, m.job)
 	if err != nil {
 		return nil, err
 	}
@@ -186,8 +168,11 @@ func (s *Session) TaskSizes(ctx context.Context, req TraceRequest) ([]TaskSizeBu
 // section 5.3): worst-case mis-speculations, static dependence coverage and
 // DDC miss rates per window size.
 type WindowRequest struct {
-	// Bench names the benchmark (required).
-	Bench string `json:"bench"`
+	// Bench names the benchmark.  Exactly one of Bench or Synth must be set.
+	Bench string `json:"bench,omitempty"`
+	// Synth describes an inline synthetic workload instead of a named
+	// benchmark.
+	Synth *SynthSpec `json:"synth,omitempty"`
 	// Scale overrides the workload scale (0 = the benchmark's default).
 	Scale int `json:"scale,omitempty"`
 	// MaxInstructions caps the committed instructions (0 = unlimited).
@@ -233,7 +218,7 @@ func (s *Session) WindowGrid(ctx context.Context, reqs []WindowRequest) ([][]Win
 	b := s.eng.NewBatch()
 	refs := make([]engine.Ref, len(reqs))
 	for i, req := range reqs {
-		_, scale, err := TraceRequest{Bench: req.Bench, Scale: req.Scale}.validate()
+		m, err := TraceRequest{Bench: req.Bench, Synth: req.Synth, Scale: req.Scale}.validate()
 		if err != nil {
 			if len(reqs) > 1 {
 				return nil, fmt.Errorf("request %d: %w", i, err)
@@ -241,7 +226,7 @@ func (s *Session) WindowGrid(ctx context.Context, reqs []WindowRequest) ([][]Win
 			return nil, err
 		}
 		specs[i] = window.AnalyzeJob{
-			Program: workload.BuildJob{Name: req.Bench, Scale: scale},
+			Program: m.job,
 			Config: window.Config{
 				WindowSizes: req.WindowSizes,
 				DDCSizes:    req.DDCSizes,

@@ -10,14 +10,20 @@ import (
 )
 
 // Request describes one Multiscalar timing simulation.  The zero value of
-// every field except Bench selects the paper's evaluated configuration
-// (8 stages, ESYNC, a 64-entry fully associative MDPT, the event-driven
-// core, the benchmark's default scale, an unbounded run), so the minimal
-// request is just {"bench": "compress"}.
+// every field except the workload (Bench or Synth) selects the paper's
+// evaluated configuration (8 stages, ESYNC, a 64-entry fully associative
+// MDPT, the event-driven core, the benchmark's default scale, an unbounded
+// run), so the minimal requests are {"bench": "compress"} and
+// {"synth": {"seed": 1}}.
 type Request struct {
-	// Bench names the benchmark to simulate (required; Benchmarks lists the
-	// synthetic suite).
-	Bench string `json:"bench"`
+	// Bench names the benchmark to simulate (Benchmarks lists the committed
+	// suite).  Exactly one of Bench or Synth must be set.
+	Bench string `json:"bench,omitempty"`
+	// Synth describes an inline synthetic workload instead of a named
+	// benchmark: the generated program runs through the same trace,
+	// preprocess and simulation pipeline, memoized under the spec's
+	// canonical JSON (including the seed).
+	Synth *SynthSpec `json:"synth,omitempty"`
 	// Stages is the number of processing units (0 = 8, the paper's main
 	// configuration; the paper also evaluates 4).
 	Stages int `json:"stages,omitempty"`
@@ -64,7 +70,12 @@ func (r Request) Normalize() Request {
 	if r.MDPTEntries == 0 {
 		r.MDPTEntries = 64
 	}
-	if r.Scale <= 0 {
+	if r.Synth != nil {
+		r.Synth = r.Synth.Normalize()
+		if r.Scale <= 0 {
+			r.Scale = 1
+		}
+	} else if r.Scale <= 0 {
 		if w, err := workload.Get(r.Bench); err == nil {
 			r.Scale = w.DefaultScale
 		}
@@ -103,11 +114,7 @@ func defaultedTable(t TableKind) TableKind {
 // (nil when the request is well-formed).
 func (r Request) Validate() error {
 	v := &ValidationError{}
-	if r.Bench == "" {
-		v.add("bench", "", "benchmark name is required")
-	} else if _, err := workload.Get(r.Bench); err != nil {
-		v.add("bench", r.Bench, "unknown benchmark")
-	}
+	r.Workload().validate(v)
 	if r.Stages < 0 {
 		v.add("stages", fmt.Sprint(r.Stages), "must not be negative")
 	} else if r.Stages > 64 {
@@ -125,6 +132,7 @@ func (r Request) Validate() error {
 	if r.Scale < 0 {
 		v.add("scale", fmt.Sprint(r.Scale), "must not be negative")
 	}
+	checkSynthScale(r.Synth, r.Scale, v)
 	if r.MDPTEntries < 0 {
 		v.add("mdpt_entries", fmt.Sprint(r.MDPTEntries), "must not be negative")
 	}
@@ -185,8 +193,23 @@ func (r Request) config() (multiscalar.Config, error) {
 	return cfg, nil
 }
 
+// Workload returns the request's workload identity.
+func (r Request) Workload() Workload {
+	return Workload{Bench: r.Bench, Synth: r.Synth}
+}
+
+// WorkloadName returns the display name of the request's workload: the
+// benchmark name, or the synthetic spec's (defaulted) name.
+func (r Request) WorkloadName() string { return r.Workload().Name() }
+
 // scale resolves the effective workload scale.
 func (r Request) scale() (int, error) {
+	if r.Synth != nil {
+		if r.Scale > 0 {
+			return r.Scale, nil
+		}
+		return 1, nil
+	}
 	w, err := workload.Get(r.Bench)
 	if err != nil {
 		return 0, err

@@ -12,7 +12,13 @@ import (
 // value and checks encode→decode→DeepEqual.
 func TestRequestJSONRoundTrip(t *testing.T) {
 	req := Request{
-		Bench:           "espresso",
+		Bench: "espresso",
+		Synth: &SynthSpec{
+			Name: "stress", Seed: 9, Ops: 4096, Body: 128, TaskSize: 16,
+			TaskSpread: 4, LoadFrac: 0.3, StoreFrac: 0.2, DepFrac: 0.7,
+			DepDists:     []DistBucket{{Dist: 8, Weight: 2}, {Dist: 64, Weight: 1}},
+			AliasSetSize: 4, LoopCarried: 0.4,
+		},
 		Stages:          4,
 		Policy:          PolicySync,
 		Core:            CoreStepped,
@@ -23,8 +29,11 @@ func TestRequestJSONRoundTrip(t *testing.T) {
 		MDPTWays:        2,
 		DDCSizes:        []int{16, 64},
 	}
-	if n := reflect.TypeOf(req).NumField(); n != 10 {
+	if n := reflect.TypeOf(req).NumField(); n != 11 {
 		t.Fatalf("Request has %d fields; update this test to populate all of them", n)
+	}
+	if n := reflect.TypeOf(*req.Synth).NumField(); n != 12 {
+		t.Fatalf("SynthSpec has %d fields; update this test to populate all of them", n)
 	}
 	data, err := json.Marshal(req)
 	if err != nil {

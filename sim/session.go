@@ -115,11 +115,13 @@ func (s *Session) Run(ctx context.Context, req Request) (*Result, error) {
 	return results[0], nil
 }
 
-// itemKey groups grid requests that share a preprocessed work item.
+// itemKey groups grid requests that share a preprocessed work item.  The
+// workload identity is its canonical JSON (the benchmark name, or the full
+// normalized synthetic spec including its seed).
 type itemKey struct {
-	bench string
-	scale int
-	max   uint64
+	workload string
+	scale    int
+	max      uint64
 }
 
 // RunGrid executes a set of simulation requests as one job set: the whole
@@ -155,14 +157,14 @@ func (s *Session) RunGrid(ctx context.Context, reqs []Request) ([]*Result, error
 		}
 		spec := multiscalar.SimulateJob{
 			Item: multiscalar.PreprocessJob{
-				Program: workload.BuildJob{Name: req.Bench, Scale: scale},
+				Program: req.Workload().buildJob(scale),
 				Trace:   req.traceConfig(),
 			},
 			Config: cfg,
 		}
 		plan[i] = planned{
 			req:  req,
-			key:  itemKey{req.Bench, scale, req.MaxInstructions},
+			key:  itemKey{req.Workload().CanonicalJSON(), scale, req.MaxInstructions},
 			spec: spec,
 			ref:  b.Add(spec),
 		}
@@ -229,7 +231,7 @@ func (s *Session) Prepare(ctx context.Context, req Request) (*Prepared, error) {
 		return nil, err
 	}
 	item, err := engine.Resolve[*multiscalar.WorkItem](ctx, s.eng, multiscalar.PreprocessJob{
-		Program: workload.BuildJob{Name: req.Bench, Scale: scale},
+		Program: req.Workload().buildJob(scale),
 		Trace:   req.traceConfig(),
 	})
 	if err != nil {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 
 	"memdep/internal/experiments"
 	"memdep/internal/stats"
@@ -65,6 +66,11 @@ type SuiteOptions struct {
 	MDPTWays int `json:"mdpt_ways,omitempty"`
 	// Core selects the timing core ("" = event).
 	Core CoreMode `json:"core,omitempty"`
+	// Synth overrides the base synthetic-workload spec swept by the
+	// sensitivity-synth experiment (nil = the generator defaults with seed 1).
+	// The sweep varies the dependence-distance histogram and alias-set size
+	// on top of this base; other experiments ignore it.
+	Synth *SynthSpec `json:"synth,omitempty"`
 }
 
 // options converts to the internal experiment options.
@@ -93,6 +99,15 @@ func (o SuiteOptions) options() (experiments.Options, error) {
 		return opts, err
 	}
 	opts.Core = core
+	if o.Synth != nil {
+		// Validate through the facade so problems keep the structured
+		// synth.-prefixed field shape the rest of the API reports.
+		if err := o.Synth.Validate(); err != nil {
+			return opts, err
+		}
+		sp := o.Synth.internal()
+		opts.SynthBase = &sp
+	}
 	return opts, nil
 }
 
@@ -110,6 +125,9 @@ func (o SuiteOptions) Effective() SuiteOptions {
 	}
 	if m, err := ParseCoreMode(string(defaultedCore(o.Core))); err == nil {
 		o.Core = m
+	}
+	if o.Synth != nil {
+		o.Synth = o.Synth.Normalize()
 	}
 	return o
 }
@@ -157,6 +175,12 @@ func (s *Session) RunExperiment(ctx context.Context, id string, opts SuiteOption
 	}
 	iopts, err := opts.options()
 	if err != nil {
+		// Structured per-field errors (a bad synth base spec) pass through
+		// unchanged; plain enum-parse errors are wrapped.
+		var verr *ValidationError
+		if errors.As(err, &verr) {
+			return nil, verr
+		}
 		v := &ValidationError{}
 		v.add("options", "", err.Error())
 		return nil, v
