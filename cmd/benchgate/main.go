@@ -8,9 +8,12 @@
 // are judged per-op (ns_per_op) against -time-tolerance; allocation
 // regressions (allocs_per_op) against the much tighter -alloc-tolerance,
 // because allocation counts are deterministic where wall-clock time is
-// noisy.  Entries that are faster or leaner than the baseline always pass; a
-// gated baseline entry missing from the candidate fails, so a benchmark
-// cannot dodge the gate by disappearing.
+// noisy.  -alloc-ceiling additionally enforces an absolute allocs/op bound
+// on every gated entry, so the arena-reuse floor cannot erode gradually
+// inside the relative tolerance.  Entries that are faster or leaner than
+// the baseline always pass the relative gates; a gated baseline entry
+// missing from the candidate fails, so a benchmark cannot dodge the gate by
+// disappearing.
 //
 // Usage:
 //
@@ -33,6 +36,7 @@ type record struct {
 	Name        string  `json:"name"`
 	NsPerOp     int64   `json:"ns_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	Seconds     float64 `json:"seconds,omitempty"`
 }
 
@@ -54,7 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		candidate = fs.String("candidate", "", "freshly generated benchmark file (required)")
 		prefix    = fs.String("prefix", "simulate/event", "gate entries whose name starts with this prefix")
 		timeTol   = fs.Float64("time-tolerance", 0.5, "allowed fractional ns/op regression (0.5 = +50%)")
-		allocTol  = fs.Float64("alloc-tolerance", 0.1, "allowed fractional allocs/op regression")
+		allocTol  = fs.Float64("alloc-tolerance", 0.05, "allowed fractional allocs/op regression")
+		allocCap  = fs.Int64("alloc-ceiling", 0, "absolute allocs/op ceiling for gated entries (0 = no ceiling)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -77,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	failures := gate(base, cand, *prefix, *timeTol, *allocTol, stdout)
+	failures := gate(base, cand, *prefix, *timeTol, *allocTol, *allocCap, stdout)
 	if failures > 0 {
 		fmt.Fprintf(stderr, "benchgate: %d regression(s) beyond tolerance (time +%.0f%%, allocs +%.0f%%)\n",
 			failures, *timeTol*100, *allocTol*100)
@@ -102,7 +107,7 @@ func load(path string) (*report, error) {
 
 // gate compares every gated baseline entry against the candidate, printing
 // one verdict line per entry, and returns the number of failures.
-func gate(base, cand *report, prefix string, timeTol, allocTol float64, w io.Writer) int {
+func gate(base, cand *report, prefix string, timeTol, allocTol float64, allocCap int64, w io.Writer) int {
 	byName := make(map[string]record, len(cand.Benchmarks))
 	for _, r := range cand.Benchmarks {
 		byName[r.Name] = r
@@ -129,10 +134,16 @@ func gate(base, cand *report, prefix string, timeTol, allocTol float64, w io.Wri
 			failures++
 			ok = false
 		}
+		if allocCap > 0 && c.AllocsPerOp > allocCap {
+			fmt.Fprintf(w, "FAIL %s: allocs/op %d exceeds the absolute ceiling of %d\n",
+				b.Name, c.AllocsPerOp, allocCap)
+			failures++
+			ok = false
+		}
 		if ok {
-			fmt.Fprintf(w, "ok   %s: ns/op %d -> %d (%+.1f%%), allocs/op %d -> %d\n",
+			fmt.Fprintf(w, "ok   %s: ns/op %d -> %d (%+.1f%%), allocs/op %d -> %d, B/op %d -> %d\n",
 				b.Name, b.NsPerOp, c.NsPerOp, delta(b.NsPerOp, c.NsPerOp)*100,
-				b.AllocsPerOp, c.AllocsPerOp)
+				b.AllocsPerOp, c.AllocsPerOp, b.BytesPerOp, c.BytesPerOp)
 		}
 	}
 	return failures

@@ -132,3 +132,19 @@ func TestZeroMetricFails(t *testing.T) {
 		t.Errorf("output:\n%s", out)
 	}
 }
+
+func TestAllocCeilingFails(t *testing.T) {
+	// Identical to the baseline, so the relative gates all pass; only the
+	// absolute ceiling trips.
+	code, out, _ := runGate(t, baseline, baseline, "-alloc-ceiling", "50")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "exceeds the absolute ceiling of 50") {
+		t.Errorf("output:\n%s", out)
+	}
+	// At or under the ceiling the same comparison passes.
+	if code, out, _ := runGate(t, baseline, baseline, "-alloc-ceiling", "100"); code != 0 {
+		t.Fatalf("exit %d, want 0\noutput:\n%s", code, out)
+	}
+}

@@ -199,13 +199,15 @@ func (a *ARB) Load(addr uint64, taskID uint64, loadPC uint64) (ok bool) {
 // case later tasks read that closer version and are safe).  Because every
 // tracked access has loaded or stored, only the closest younger task can
 // decide the outcome, so the scan is a single min-reduction over the entry
-// (order-independent, hence deterministic).  ok is false when the ARB bank
-// is full and the store must stall.
-func (a *ARB) Store(addr uint64, taskID uint64) (v *Violation, ok bool) {
+// (order-independent, hence deterministic).  The violation is returned by
+// value (violated reports whether it is meaningful) so the per-store hot
+// path never allocates.  ok is false when the ARB bank is full and the
+// store must stall.
+func (a *ARB) Store(addr uint64, taskID uint64) (v Violation, violated, ok bool) {
 	e := a.lookup(addr, true)
 	if e == nil {
 		a.stallsFull++
-		return nil, false
+		return Violation{}, false, false
 	}
 	a.stores++
 	ta := a.access(e, addr, taskID)
@@ -220,11 +222,11 @@ func (a *ARB) Store(addr uint64, taskID uint64) (v *Violation, ok bool) {
 	}
 	if closest != nil && closest.exposedLoad {
 		a.violations++
-		return &Violation{Addr: addr, StoreTask: taskID, LoadTask: closest.id, LoadPC: closest.loadPC}, true
+		return Violation{Addr: addr, StoreTask: taskID, LoadTask: closest.id, LoadPC: closest.loadPC}, true, true
 	}
 	// Either no younger task touched the address, or the closest one
 	// produced its own version first and insulates the tasks beyond it.
-	return nil, true
+	return Violation{}, false, true
 }
 
 // CommitTask discards the bookkeeping of a task that has committed.  Empty
@@ -290,12 +292,20 @@ func (a *ARB) Stats() Stats {
 	return Stats{Loads: a.loads, Stores: a.stores, Violations: a.violations, StallsFull: a.stallsFull}
 }
 
-// Reset clears all entries and counters.
+// Reset clears all entries and counters in place: live address entries and
+// touched-index slices are drained back into the free pools, so a reused ARB
+// performs no steady-state allocations.
 func (a *ARB) Reset() {
-	for i := range a.banks {
-		a.banks[i] = make(map[uint64]*entry, a.cfg.EntriesPerBank)
+	for _, b := range a.banks {
+		for addr, e := range b {
+			e.tasks = e.tasks[:0]
+			a.entryFree = append(a.entryFree, e)
+			delete(b, addr)
+		}
 	}
-	a.touched = make(map[uint64][]uint64)
-	a.entryFree, a.touchedFree = nil, nil
+	for taskID, addrs := range a.touched {
+		a.touchedFree = append(a.touchedFree, addrs[:0])
+		delete(a.touched, taskID)
+	}
 	a.loads, a.stores, a.violations, a.stallsFull = 0, 0, 0, 0
 }

@@ -25,11 +25,11 @@ func TestStoreAfterPrematureLoadIsViolation(t *testing.T) {
 	if ok := a.Load(0x100, 5, 0x40); !ok {
 		t.Fatal("load must be accepted")
 	}
-	v, ok := a.Store(0x100, 4)
+	v, violated, ok := a.Store(0x100, 4)
 	if !ok {
 		t.Fatal("store must be accepted")
 	}
-	if v == nil {
+	if !violated {
 		t.Fatal("expected a violation")
 	}
 	if v.LoadTask != 5 || v.StoreTask != 4 || v.LoadPC != 0x40 || v.Addr != 0x100 {
@@ -42,7 +42,7 @@ func TestStoreAfterPrematureLoadIsViolation(t *testing.T) {
 
 func TestStoreBeforeLoadNoViolation(t *testing.T) {
 	a := newTestARB()
-	if v, _ := a.Store(0x100, 4); v != nil {
+	if _, violated, _ := a.Store(0x100, 4); violated {
 		t.Fatal("store with no younger load must not violate")
 	}
 	// The younger load now happens after the store: no violation to detect
@@ -60,7 +60,7 @@ func TestOlderLoadNotAViolation(t *testing.T) {
 	// Task 3 (older than the store's task 4) loads first; a store by task 4
 	// must not squash an older task.
 	a.Load(0x100, 3, 0x40)
-	if v, _ := a.Store(0x100, 4); v != nil {
+	if v, violated, _ := a.Store(0x100, 4); violated {
 		t.Errorf("older load must not be reported: %+v", v)
 	}
 }
@@ -71,7 +71,7 @@ func TestLoadCoveredByOwnStoreIsNotExposed(t *testing.T) {
 	// and must not be vulnerable to an older store.
 	a.Store(0x100, 5)
 	a.Load(0x100, 5, 0x40)
-	if v, _ := a.Store(0x100, 4); v != nil {
+	if v, violated, _ := a.Store(0x100, 4); violated {
 		t.Errorf("load covered by the task's own store must be safe: %+v", v)
 	}
 }
@@ -83,7 +83,7 @@ func TestInterveningStoreInsulatesYoungerLoads(t *testing.T) {
 	a.Load(0x100, 6, 0x60)
 	// Task 4 now stores A.  Task 6 read task 5's version, which is still the
 	// closest preceding store, so no violation.
-	if v, _ := a.Store(0x100, 4); v != nil {
+	if v, violated, _ := a.Store(0x100, 4); violated {
 		t.Errorf("younger load insulated by intervening store must be safe: %+v", v)
 	}
 }
@@ -92,8 +92,8 @@ func TestViolationReportsOldestOffendingTask(t *testing.T) {
 	a := newTestARB()
 	a.Load(0x100, 5, 0x50)
 	a.Load(0x100, 6, 0x60)
-	v, _ := a.Store(0x100, 4)
-	if v == nil || v.LoadTask != 5 {
+	v, violated, _ := a.Store(0x100, 4)
+	if !violated || v.LoadTask != 5 {
 		t.Errorf("violation must name the oldest offending task: %+v", v)
 	}
 }
@@ -101,7 +101,7 @@ func TestViolationReportsOldestOffendingTask(t *testing.T) {
 func TestDifferentAddressesDoNotConflict(t *testing.T) {
 	a := newTestARB()
 	a.Load(0x100, 5, 0x50)
-	if v, _ := a.Store(0x180, 4); v != nil {
+	if v, violated, _ := a.Store(0x180, 4); violated {
 		t.Errorf("different address must not conflict: %+v", v)
 	}
 }
@@ -110,7 +110,7 @@ func TestCommitTaskClearsState(t *testing.T) {
 	a := newTestARB()
 	a.Load(0x100, 5, 0x50)
 	a.CommitTask(5)
-	if v, _ := a.Store(0x100, 4); v != nil {
+	if v, violated, _ := a.Store(0x100, 4); violated {
 		t.Errorf("committed task must not be reported: %+v", v)
 	}
 	if a.Entries() != 1 {
@@ -123,7 +123,7 @@ func TestSquashTaskClearsState(t *testing.T) {
 	a := newTestARB()
 	a.Load(0x100, 5, 0x50)
 	a.SquashTask(5)
-	if v, _ := a.Store(0x100, 4); v != nil {
+	if v, violated, _ := a.Store(0x100, 4); violated {
 		t.Errorf("squashed task must not be reported: %+v", v)
 	}
 }
@@ -157,7 +157,7 @@ func TestExistingAddressDoesNotStallWhenFull(t *testing.T) {
 	if ok := a.Load(0x000, 2, 0x20); !ok {
 		t.Fatal("tracked address must not stall")
 	}
-	if _, ok := a.Store(0x000, 1); !ok {
+	if _, _, ok := a.Store(0x000, 1); !ok {
 		t.Fatal("tracked address store must not stall")
 	}
 }
@@ -198,7 +198,7 @@ func TestARBMatchesOracleTwoTasks(t *testing.T) {
 				task = 1
 			}
 			if o.Store {
-				v, ok := a.Store(addr, task)
+				_, violated, ok := a.Store(addr, task)
 				if !ok {
 					return false
 				}
@@ -208,12 +208,12 @@ func TestARBMatchesOracleTwoTasks(t *testing.T) {
 					if youngerExposedLoad && !youngerStoredBeforeLoad(youngerStored, youngerExposedLoad) {
 						wantViolations++
 					}
-					if v != nil {
+					if violated {
 						gotViolations++
 					}
 				} else {
 					youngerStored = true
-					if v != nil {
+					if violated {
 						return false // a younger store can never violate here
 					}
 				}

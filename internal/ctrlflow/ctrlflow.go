@@ -12,10 +12,16 @@ import "memdep/internal/cache"
 // recent task PCs.  It is a tagless first-level table indexed by the path
 // hash; each entry holds the predicted successor and a hysteresis bit.
 type PathPredictor struct {
-	tableBits   int
-	historyLen  int
-	entries     []pathEntry
+	tableBits  int
+	historyLen int
+	entries    []pathEntry
+	// history is a fixed-capacity ring buffer of the last historyLen task
+	// PCs: histCount live elements starting at histStart, oldest first.  A
+	// ring (rather than an appended-and-trimmed slice) keeps Update free of
+	// steady-state allocations.
 	history     []uint64
+	histStart   int
+	histCount   int
 	predictions uint64
 	correct     uint64
 }
@@ -42,14 +48,17 @@ func NewPathPredictor(tableBits, historyLen int) *PathPredictor {
 		tableBits:  tableBits,
 		historyLen: historyLen,
 		entries:    make([]pathEntry, 1<<tableBits),
-		history:    make([]uint64, 0, historyLen),
+		history:    make([]uint64, historyLen),
 	}
 }
 
-// index hashes the current task PC and the path history into the table.
+// index hashes the current task PC and the path history into the table.  The
+// ring is walked oldest→newest with i as the position from the oldest entry,
+// reproducing the original slice-ordered hash exactly.
 func (p *PathPredictor) index(currentTaskPC uint64) uint64 {
 	h := currentTaskPC * 0x9e3779b97f4a7c15
-	for i, pc := range p.history {
+	for i := 0; i < p.histCount; i++ {
+		pc := p.history[(p.histStart+i)%p.historyLen]
 		h ^= (pc + uint64(i)*0x517cc1b727220a95) << (uint64(i%7) + 1)
 	}
 	return (h >> 3) & uint64(len(p.entries)-1)
@@ -85,10 +94,14 @@ func (p *PathPredictor) Update(currentTaskPC, actualNext uint64) bool {
 			*e = pathEntry{valid: true, target: actualNext, confident: false}
 		}
 	}
-	// Advance the path history with the task we just left.
-	p.history = append(p.history, currentTaskPC)
-	if len(p.history) > p.historyLen {
-		p.history = p.history[1:]
+	// Advance the path history with the task we just left, overwriting the
+	// oldest entry once the window is full.
+	if p.histCount < p.historyLen {
+		p.history[(p.histStart+p.histCount)%p.historyLen] = currentTaskPC
+		p.histCount++
+	} else {
+		p.history[p.histStart] = currentTaskPC
+		p.histStart = (p.histStart + 1) % p.historyLen
 	}
 	return wasCorrect
 }
@@ -110,7 +123,7 @@ func (p *PathPredictor) Reset() {
 	for i := range p.entries {
 		p.entries[i] = pathEntry{}
 	}
-	p.history = p.history[:0]
+	p.histStart, p.histCount = 0, 0
 	p.predictions, p.correct = 0, 0
 }
 

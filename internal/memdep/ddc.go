@@ -91,8 +91,9 @@ func (d *DDC) Contains(pair PairKey) bool {
 	return ok
 }
 
-// Reset clears the cache contents and counters.
+// Reset clears the cache contents and counters in place, retaining the map's
+// storage for reuse.
 func (d *DDC) Reset() {
-	d.entries = make(map[PairKey]uint64, d.capacity)
+	clear(d.entries)
 	d.hits, d.misses, d.clock = 0, 0, 0
 }

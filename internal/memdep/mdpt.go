@@ -20,10 +20,22 @@ type mdptEntry struct {
 // predicts whether its future dynamic instances should be synchronized.  It
 // is the TableFullAssoc implementation of the Predictor interface; see
 // SetAssocMDPT and StoreSetPredictor for the other organizations.
+//
+// Lookups run once per load and store the timing core issues, so the table
+// keeps three incrementally maintained indexes over its entry array: pairIdx
+// (exact static pair → slot) and loadIdx/storeIdx (PC → slots, in ascending
+// slot order).  Ascending order matters: MatchesForLoad/MatchesForStore touch
+// every match, each touch advances the LRU clock, and replacement decisions
+// observe those clocks -- so index traversal must visit entries in exactly
+// the order the former full scan did.
 type MDPT struct {
 	cfg     Config
 	entries []mdptEntry
 	clock   uint64
+
+	pairIdx  map[PairKey]int32
+	loadIdx  map[uint64][]int32
+	storeIdx map[uint64][]int32
 
 	allocations  uint64
 	replacements uint64
@@ -37,21 +49,16 @@ var _ Predictor = (*MDPT)(nil)
 func NewMDPT(cfg Config) *MDPT {
 	cfg = cfg.withDefaults()
 	return &MDPT{
-		cfg:     cfg,
-		entries: make([]mdptEntry, cfg.Entries),
+		cfg:      cfg,
+		entries:  make([]mdptEntry, cfg.Entries),
+		pairIdx:  make(map[PairKey]int32, cfg.Entries),
+		loadIdx:  make(map[uint64][]int32, cfg.Entries),
+		storeIdx: make(map[uint64][]int32, cfg.Entries),
 	}
 }
 
 // Len returns the number of valid entries.
-func (t *MDPT) Len() int {
-	n := 0
-	for i := range t.entries {
-		if t.entries[i].valid {
-			n++
-		}
-	}
-	return n
-}
+func (t *MDPT) Len() int { return len(t.pairIdx) }
 
 // Capacity returns the number of entries in the table.
 func (t *MDPT) Capacity() int { return len(t.entries) }
@@ -66,13 +73,50 @@ func (t *MDPT) touch(e *mdptEntry) {
 	e.lastUse = t.clock
 }
 
+// insertSlot adds slot v to the sorted slice s, keeping ascending order.
+func insertSlot(s []int32, v int32) []int32 {
+	i := len(s)
+	s = append(s, 0)
+	for i > 0 && s[i-1] > v {
+		s[i] = s[i-1]
+		i--
+	}
+	s[i] = v
+	return s
+}
+
+// removeSlot deletes slot v from the sorted slice s, preserving order.
+func removeSlot(s []int32, v int32) []int32 {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// link registers the (already filled) slot in all three indexes.
+func (t *MDPT) link(i int32) {
+	e := &t.entries[i]
+	t.pairIdx[PairKey{LoadPC: e.loadPC, StorePC: e.storePC}] = i
+	t.loadIdx[e.loadPC] = insertSlot(t.loadIdx[e.loadPC], i)
+	t.storeIdx[e.storePC] = insertSlot(t.storeIdx[e.storePC], i)
+}
+
+// unlink removes the slot from all three indexes (the entry still holds its
+// old PCs).  Emptied per-PC slices stay in the maps so their capacity is
+// reused by later allocations.
+func (t *MDPT) unlink(i int32) {
+	e := &t.entries[i]
+	delete(t.pairIdx, PairKey{LoadPC: e.loadPC, StorePC: e.storePC})
+	t.loadIdx[e.loadPC] = removeSlot(t.loadIdx[e.loadPC], i)
+	t.storeIdx[e.storePC] = removeSlot(t.storeIdx[e.storePC], i)
+}
+
 // find returns the entry for the exact static pair, or nil.
 func (t *MDPT) find(pair PairKey) *mdptEntry {
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.loadPC == pair.LoadPC && e.storePC == pair.StorePC {
-			return e
-		}
+	if i, ok := t.pairIdx[pair]; ok {
+		return &t.entries[i]
 	}
 	return nil
 }
@@ -117,12 +161,10 @@ func (t *MDPT) predicts(e *mdptEntry) bool {
 // 4.4.4) and returns the extended slice.  dst is caller-owned: results are
 // never invalidated by a later call.
 func (t *MDPT) MatchesForLoad(loadPC uint64, dst []Prediction) []Prediction {
-	for i := range t.entries {
+	for _, i := range t.loadIdx[loadPC] {
 		e := &t.entries[i]
-		if e.valid && e.loadPC == loadPC {
-			t.touch(e)
-			dst = append(dst, t.prediction(e))
-		}
+		t.touch(e)
+		dst = append(dst, t.prediction(e))
 	}
 	return dst
 }
@@ -131,12 +173,10 @@ func (t *MDPT) MatchesForLoad(loadPC uint64, dst []Prediction) []Prediction {
 // store PC matches and returns the extended slice.  dst is caller-owned:
 // results are never invalidated by a later call.
 func (t *MDPT) MatchesForStore(storePC uint64, dst []Prediction) []Prediction {
-	for i := range t.entries {
+	for _, i := range t.storeIdx[storePC] {
 		e := &t.entries[i]
-		if e.valid && e.storePC == storePC {
-			t.touch(e)
-			dst = append(dst, t.prediction(e))
-		}
+		t.touch(e)
+		dst = append(dst, t.prediction(e))
 	}
 	return dst
 }
@@ -153,9 +193,11 @@ func (t *MDPT) RecordMisspeculation(pair PairKey, dist uint64, storeTaskPC uint6
 		t.touch(e)
 		return
 	}
-	e := t.victim()
+	i := t.victim()
+	e := &t.entries[i]
 	if e.valid {
 		t.replacements++
+		t.unlink(i)
 	}
 	t.allocations++
 	*e = mdptEntry{
@@ -166,20 +208,21 @@ func (t *MDPT) RecordMisspeculation(pair PairKey, dist uint64, storeTaskPC uint6
 		counter:     t.cfg.InitialCounter,
 		storeTaskPC: storeTaskPC,
 	}
+	t.link(i)
 	t.touch(e)
 }
 
-// victim returns the entry to allocate into: an invalid entry if one exists,
+// victim returns the slot to allocate into: an invalid entry if one exists,
 // otherwise the least recently used entry.
-func (t *MDPT) victim() *mdptEntry {
-	var lru *mdptEntry
+func (t *MDPT) victim() int32 {
+	lru := int32(-1)
 	for i := range t.entries {
 		e := &t.entries[i]
 		if !e.valid {
-			return e
+			return int32(i)
 		}
-		if lru == nil || e.lastUse < lru.lastUse {
-			lru = e
+		if lru < 0 || e.lastUse < t.entries[lru].lastUse {
+			lru = int32(i)
 		}
 	}
 	return lru
@@ -236,10 +279,19 @@ func (t *MDPT) Stats() MDPTStats {
 	}
 }
 
-// Reset invalidates all entries and clears counters.
+// Reset invalidates all entries and clears counters.  Index maps are cleared
+// in place (per-PC slices keep their backing capacity) so a reused table
+// allocates nothing in steady state.
 func (t *MDPT) Reset() {
 	for i := range t.entries {
 		t.entries[i] = mdptEntry{}
+	}
+	clear(t.pairIdx)
+	for pc, s := range t.loadIdx {
+		t.loadIdx[pc] = s[:0]
+	}
+	for pc, s := range t.storeIdx {
+		t.storeIdx[pc] = s[:0]
 	}
 	t.clock = 0
 	t.allocations, t.replacements, t.strengthens, t.weakens = 0, 0, 0, 0

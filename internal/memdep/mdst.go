@@ -19,12 +19,41 @@ type mdstEntry struct {
 // (for example the load identifier of an entry allocated by a store).
 const invalidID int64 = -1
 
+// mdstKey identifies one dynamic dependence instance -- the unit of MDST
+// lookup.  At most one valid entry exists per key (allocation only happens
+// after a failed find), which is what lets the index replace the former
+// O(entries) scan without changing which entry a lookup returns.
+type mdstKey struct {
+	loadPC   uint64
+	storePC  uint64
+	instance uint64
+}
+
 // MDST is the memory dependence synchronization table: a dynamic pool of
 // condition variables together with the mechanism to associate them with
 // dynamic store→load instruction pairs.
+//
+// The table sits on the timing simulator's per-memory-operation hot path, so
+// the dynamic-instance lookup and the per-load waiter test are backed by
+// indexes (index, waiting) instead of scans over the entry array; both are
+// maintained incrementally by every allocation, release and replacement and
+// carry no information of their own -- the entry array remains the source of
+// truth, which TestMDSTIndexConsistency asserts.
 type MDST struct {
 	entries []mdstEntry
 	clock   uint64
+
+	// index maps each dynamic dependence instance to its entry slot.
+	index map[mdstKey]int32
+	// waiting counts, per load identifier, the valid empty entries the load
+	// is blocked on (every empty entry carries a valid ldid, see
+	// AllocWaiting); it answers HasWaiter in O(1) and lets ReleaseLoad skip
+	// the scan entirely for loads that wait on nothing.
+	waiting map[int64]int32
+
+	// freedScratch backs the slices returned by ReleaseLoad/ReleaseStore;
+	// the result is valid until the next call to either.
+	freedScratch []PairKey
 
 	allocations    uint64
 	replacements   uint64
@@ -38,22 +67,18 @@ func NewMDST(capacity int) *MDST {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &MDST{entries: make([]mdstEntry, capacity)}
+	return &MDST{
+		entries: make([]mdstEntry, capacity),
+		index:   make(map[mdstKey]int32, capacity),
+		waiting: make(map[int64]int32),
+	}
 }
 
 // Capacity returns the number of entries.
 func (t *MDST) Capacity() int { return len(t.entries) }
 
 // Len returns the number of valid entries.
-func (t *MDST) Len() int {
-	n := 0
-	for i := range t.entries {
-		if t.entries[i].valid {
-			n++
-		}
-	}
-	return n
-}
+func (t *MDST) Len() int { return len(t.index) }
 
 func (t *MDST) touch(e *mdstEntry) {
 	t.clock++
@@ -62,38 +87,72 @@ func (t *MDST) touch(e *mdstEntry) {
 
 // find locates the entry for a specific dynamic dependence instance.
 func (t *MDST) find(pair PairKey, instance uint64) *mdstEntry {
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.loadPC == pair.LoadPC && e.storePC == pair.StorePC && e.instance == instance {
-			return e
-		}
+	if i, ok := t.index[mdstKey{pair.LoadPC, pair.StorePC, instance}]; ok {
+		return &t.entries[i]
 	}
 	return nil
 }
 
-// victim returns an entry to allocate into: an invalid entry if any,
+// addWaiter/dropWaiter maintain the per-ldid waiter counts for entries whose
+// full/empty flag is empty.
+func (t *MDST) addWaiter(ldid int64) { t.waiting[ldid]++ }
+
+func (t *MDST) dropWaiter(ldid int64) {
+	if n := t.waiting[ldid] - 1; n > 0 {
+		t.waiting[ldid] = n
+	} else {
+		delete(t.waiting, ldid)
+	}
+}
+
+// invalidate frees the entry, unhooking it from both indexes.
+func (t *MDST) invalidate(e *mdstEntry) {
+	delete(t.index, mdstKey{e.loadPC, e.storePC, e.instance})
+	if !e.full && e.ldid != invalidID {
+		t.dropWaiter(e.ldid)
+	}
+	e.valid = false
+}
+
+// victim returns the slot to allocate into: an invalid entry if any,
 // otherwise the least recently used entry whose full/empty flag is full (a
 // synchronization that has already fired and is only waiting for its load),
 // otherwise the least recently used entry overall (section 4.4.2 discusses
-// both reclamation policies).
-func (t *MDST) victim() *mdstEntry {
-	var lruFull, lruAny *mdstEntry
+// both reclamation policies).  A valid victim is invalidated (and counted as
+// a replacement) before being handed out.
+func (t *MDST) victim() int {
+	lruFull, lruAny := -1, -1
 	for i := range t.entries {
 		e := &t.entries[i]
 		if !e.valid {
-			return e
+			return i
 		}
-		if e.full && (lruFull == nil || e.lastUse < lruFull.lastUse) {
-			lruFull = e
+		if e.full && (lruFull < 0 || e.lastUse < t.entries[lruFull].lastUse) {
+			lruFull = i
 		}
-		if lruAny == nil || e.lastUse < lruAny.lastUse {
-			lruAny = e
+		if lruAny < 0 || e.lastUse < t.entries[lruAny].lastUse {
+			lruAny = i
 		}
 	}
-	if lruFull != nil {
-		return lruFull
+	v := lruFull
+	if v < 0 {
+		v = lruAny
 	}
-	return lruAny
+	t.replacements++
+	t.invalidate(&t.entries[v])
+	return v
+}
+
+// install fills a victim slot and registers it in the indexes.
+func (t *MDST) install(i int, fill mdstEntry) {
+	t.allocations++
+	e := &t.entries[i]
+	*e = fill
+	t.index[mdstKey{e.loadPC, e.storePC, e.instance}] = int32(i)
+	if !e.full && e.ldid != invalidID {
+		t.addWaiter(e.ldid)
+	}
+	t.touch(e)
 }
 
 // AllocWaiting allocates (or reuses) an entry for a load that must wait: the
@@ -109,21 +168,22 @@ func (t *MDST) AllocWaiting(pair PairKey, instance uint64, ldid int64) (mustWait
 			// variable; consume the entry and let the load continue
 			// (figure 4 parts (e)/(f) of the paper).
 			t.signalsMatched++
-			e.valid = false
+			t.invalidate(e)
 			return false
 		}
 		// A waiting entry already exists (for example allocated when the
 		// prediction was first made); just record the load identifier.
-		e.ldid = ldid
+		if e.ldid != ldid {
+			if e.ldid != invalidID {
+				t.dropWaiter(e.ldid)
+			}
+			e.ldid = ldid
+			t.addWaiter(ldid)
+		}
 		t.waitsRecorded++
 		return true
 	}
-	e := t.victim()
-	if e.valid {
-		t.replacements++
-	}
-	t.allocations++
-	*e = mdstEntry{
+	t.install(t.victim(), mdstEntry{
 		valid:    true,
 		loadPC:   pair.LoadPC,
 		storePC:  pair.StorePC,
@@ -131,8 +191,7 @@ func (t *MDST) AllocWaiting(pair PairKey, instance uint64, ldid int64) (mustWait
 		stid:     invalidID,
 		instance: instance,
 		full:     false,
-	}
-	t.touch(e)
+	})
 	t.waitsRecorded++
 	return true
 }
@@ -152,19 +211,14 @@ func (t *MDST) Signal(pair PairKey, instance uint64, stid int64) (ldid int64, re
 			// (figure 4 part (d)).
 			t.signalsMatched++
 			id := e.ldid
-			e.valid = false
+			t.invalidate(e)
 			return id, true
 		}
 		// The entry is already full (a duplicate signal): nothing to release.
 		e.stid = stid
 		return invalidID, false
 	}
-	e := t.victim()
-	if e.valid {
-		t.replacements++
-	}
-	t.allocations++
-	*e = mdstEntry{
+	t.install(t.victim(), mdstEntry{
 		valid:    true,
 		loadPC:   pair.LoadPC,
 		storePC:  pair.StorePC,
@@ -172,8 +226,7 @@ func (t *MDST) Signal(pair PairKey, instance uint64, stid int64) (ldid int64, re
 		stid:     stid,
 		instance: instance,
 		full:     true,
-	}
-	t.touch(e)
+	})
 	return invalidID, false
 }
 
@@ -181,32 +234,45 @@ func (t *MDST) Signal(pair PairKey, instance uint64, stid int64) (ldid int64, re
 // is used both when a waiting load is released because all prior stores have
 // resolved (incomplete synchronization, section 4.4.2) and when a load is
 // squashed (section 4.4.3).  It returns the static pairs of the freed entries
-// so the caller can update the prediction table.
+// so the caller can update the prediction table; the slice shares a scratch
+// backing owned by the table and is valid until the next ReleaseLoad or
+// ReleaseStore call.
 func (t *MDST) ReleaseLoad(ldid int64) []PairKey {
-	var freed []PairKey
+	remaining := t.waiting[ldid]
+	if remaining == 0 {
+		return nil
+	}
+	freed := t.freedScratch[:0]
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.ldid == ldid {
 			freed = append(freed, PairKey{LoadPC: e.loadPC, StorePC: e.storePC})
-			e.valid = false
+			t.invalidate(e)
 			t.freedStale++
+			if remaining--; remaining == 0 {
+				break
+			}
 		}
 	}
+	t.freedScratch = freed
 	return freed
 }
 
 // ReleaseStore frees all entries allocated by the given store identifier that
-// never met their load (used on store squash).
+// never met their load (used on store squash).  The returned slice shares a
+// scratch backing owned by the table and is valid until the next ReleaseLoad
+// or ReleaseStore call.
 func (t *MDST) ReleaseStore(stid int64) []PairKey {
-	var freed []PairKey
+	freed := t.freedScratch[:0]
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.stid == stid && e.ldid == invalidID {
 			freed = append(freed, PairKey{LoadPC: e.loadPC, StorePC: e.storePC})
-			e.valid = false
+			t.invalidate(e)
 			t.freedStale++
 		}
 	}
+	t.freedScratch = freed
 	return freed
 }
 
@@ -227,13 +293,7 @@ func (t *MDST) WaitingLoads() []int64 {
 // empty (waiting) entry -- used to decide whether a load released by one
 // signal must keep waiting for further predicted dependences (section 4.4.4).
 func (t *MDST) HasWaiter(ldid int64) bool {
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && !e.full && e.ldid == ldid {
-			return true
-		}
-	}
-	return false
+	return t.waiting[ldid] > 0
 }
 
 // MDSTStats summarises synchronization-table activity.
@@ -258,11 +318,15 @@ func (t *MDST) Stats() MDSTStats {
 	}
 }
 
-// Reset invalidates all entries and clears counters.
+// Reset invalidates all entries and clears counters.  The backing array, the
+// indexes and the scratch buffer are retained, so a reset table performs no
+// steady-state allocations when reused by a simulator arena.
 func (t *MDST) Reset() {
 	for i := range t.entries {
 		t.entries[i] = mdstEntry{}
 	}
+	clear(t.index)
+	clear(t.waiting)
 	t.clock = 0
 	t.allocations, t.replacements, t.waitsRecorded, t.signalsMatched, t.freedStale = 0, 0, 0, 0, 0
 }

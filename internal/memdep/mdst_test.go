@@ -244,3 +244,72 @@ func TestMDSTNoDuplicateLiveEntries(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMDSTIndexConsistency drives a small table through a randomized mix of
+// operations and, after every step, rebuilds the dynamic-instance index and
+// the per-ldid waiter counts from the entry array (the source of truth).  The
+// incremental indexes must match exactly -- they carry no information of
+// their own.
+func TestMDSTIndexConsistency(t *testing.T) {
+	m := NewMDST(8)
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	check := func(step int) {
+		t.Helper()
+		index := make(map[mdstKey]int32)
+		waiting := make(map[int64]int32)
+		for i := range m.entries {
+			e := &m.entries[i]
+			if !e.valid {
+				continue
+			}
+			k := mdstKey{e.loadPC, e.storePC, e.instance}
+			if prev, dup := index[k]; dup {
+				t.Fatalf("step %d: slots %d and %d share key %+v", step, prev, i, k)
+			}
+			index[k] = int32(i)
+			if !e.full && e.ldid != invalidID {
+				waiting[e.ldid]++
+			}
+		}
+		if len(index) != len(m.index) {
+			t.Fatalf("step %d: index has %d keys, entries have %d valid", step, len(m.index), len(index))
+		}
+		for k, i := range index {
+			if got, ok := m.index[k]; !ok || got != i {
+				t.Fatalf("step %d: index[%+v] = %d,%t, want %d", step, k, got, ok, i)
+			}
+		}
+		if len(waiting) != len(m.waiting) {
+			t.Fatalf("step %d: waiting has %d ldids, entries imply %d", step, len(m.waiting), len(waiting))
+		}
+		for id, n := range waiting {
+			if got := m.waiting[id]; got != n {
+				t.Fatalf("step %d: waiting[%d] = %d, want %d", step, id, got, n)
+			}
+		}
+	}
+	for step := 0; step < 4000; step++ {
+		pair := PairKey{LoadPC: 0x100 + next(4)*8, StorePC: 0x200 + next(4)*8}
+		instance := next(6)
+		id := int64(next(12))
+		switch next(5) {
+		case 0, 1:
+			m.AllocWaiting(pair, instance, id)
+		case 2:
+			m.Signal(pair, instance, id)
+		case 3:
+			m.ReleaseLoad(id)
+		case 4:
+			m.ReleaseStore(id)
+		}
+		check(step)
+	}
+	m.Reset()
+	check(-1)
+}

@@ -250,12 +250,16 @@ func (t *SetAssocMDPT) Stats() MDPTStats {
 	}
 }
 
-// Reset implements Predictor.
+// Reset implements Predictor.  The inverted index is cleared in place
+// (per-PC slices keep their backing capacity) so a reused table allocates
+// little in steady state.
 func (t *SetAssocMDPT) Reset() {
 	for i := range t.entries {
 		t.entries[i] = mdptEntry{}
 	}
-	t.storeIdx = make(map[uint64][]int)
+	for pc, s := range t.storeIdx {
+		t.storeIdx[pc] = s[:0]
+	}
 	t.clock = 0
 	t.allocations, t.replacements, t.strengthens, t.weakens = 0, 0, 0, 0
 }

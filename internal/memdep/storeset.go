@@ -371,13 +371,15 @@ func (t *StoreSetPredictor) Stats() MDPTStats {
 	}
 }
 
-// Reset implements Predictor.
+// Reset implements Predictor.  The SSIT maps are cleared in place so a
+// reused predictor allocates little in steady state.
 func (t *StoreSetPredictor) Reset() {
 	for i := range t.sets {
-		t.sets[i] = storeSet{}
+		s := &t.sets[i]
+		*s = storeSet{loads: s.loads[:0], stores: s.stores[:0]}
 	}
-	t.loadSSIT = make(map[uint64]int)
-	t.storeSSIT = make(map[uint64]int)
+	clear(t.loadSSIT)
+	clear(t.storeSSIT)
 	t.clock = 0
 	t.allocations, t.replacements, t.strengthens, t.weakens = 0, 0, 0, 0
 }

@@ -1,0 +1,103 @@
+package multiscalar
+
+// eventQueue is a pooled indexed min-heap of per-task wake events, ordered by
+// cycle.  The event-driven core records an entry whenever it caches a timed
+// wake cycle for a task (sim.setWake); the jump-target computation peeks the
+// minimum instead of re-deriving it by scanning the window every pass.
+//
+// The heap is indexed: pos maps each task to its heap slot (or -1), so a task
+// re-stalling on a new cycle updates its existing entry in place rather than
+// pushing a duplicate.  The heap therefore never exceeds the number of
+// in-flight tasks, and its operations stay a handful of swaps.  Entries whose
+// task advanced without re-stalling (wake cleared) or committed are
+// invalidated lazily: sim.nextWake validates each minimum against the SoA
+// wake/committed arrays and discards stale ones as they surface.  All three
+// backing slices are arena-owned and reused across runs, so steady-state
+// operation never allocates.
+type eventQueue struct {
+	cy  []int64 // heap-ordered wake cycles
+	id  []int32 // task of each heap slot, parallel to cy
+	pos []int32 // heap slot of each task, -1 when absent
+}
+
+// reset empties the queue and sizes the task index, keeping backing storage.
+func (q *eventQueue) reset(tasks int) {
+	q.cy = q.cy[:0]
+	q.id = q.id[:0]
+	if cap(q.pos) < tasks {
+		q.pos = make([]int32, tasks)
+	}
+	q.pos = q.pos[:tasks]
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+}
+
+// set records (or updates) the wake cycle of a task.
+func (q *eventQueue) set(c int64, task int32) {
+	i := int(q.pos[task])
+	if i < 0 {
+		i = len(q.cy)
+		q.cy = append(q.cy, c)
+		q.id = append(q.id, task)
+		q.pos[task] = int32(i)
+		q.up(i)
+		return
+	}
+	old := q.cy[i]
+	q.cy[i] = c
+	if c < old {
+		q.up(i)
+	} else if c > old {
+		q.down(i)
+	}
+}
+
+// pop removes the minimum entry.
+func (q *eventQueue) pop() {
+	last := len(q.cy) - 1
+	q.pos[q.id[0]] = -1
+	if last > 0 {
+		q.cy[0], q.id[0] = q.cy[last], q.id[last]
+		q.pos[q.id[0]] = 0
+	}
+	q.cy, q.id = q.cy[:last], q.id[:last]
+	if last > 0 {
+		q.down(0)
+	}
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.cy[parent] <= q.cy[i] {
+			break
+		}
+		q.swap(parent, i)
+		i = parent
+	}
+}
+
+func (q *eventQueue) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(q.cy) && q.cy[l] < q.cy[min] {
+			min = l
+		}
+		if r < len(q.cy) && q.cy[r] < q.cy[min] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.swap(min, i)
+		i = min
+	}
+}
+
+func (q *eventQueue) swap(i, j int) {
+	q.cy[i], q.cy[j] = q.cy[j], q.cy[i]
+	q.id[i], q.id[j] = q.id[j], q.id[i]
+	q.pos[q.id[i]], q.pos[q.id[j]] = int32(i), int32(j)
+}

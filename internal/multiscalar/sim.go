@@ -48,18 +48,25 @@ type waitState struct {
 // predictor updates.  Records live in a flat per-task slice indexed by the
 // load's ordinal (dynRec.loadOrd), so commit- and squash-time walks visit
 // them in ascending instruction order -- deterministically, unlike the map
-// they replace.
+// they replace.  The predicted wait pairs are stored as an (offset, length)
+// window into the simulator's shared pairBuf arena rather than a per-record
+// slice, which removes the last per-dispatch allocation from the hot path.
 type loadRecord struct {
 	seen       bool // the load has reached issue at least once this attempt
 	predicted  bool
 	actualDep  bool
 	queried    bool
 	producerPC uint64
-	pairs      []memdep.PairKey
+	pairsOff   int32
+	pairsLen   int32
 	ldid       int64
 }
 
-// execTask is the execution state of one task on its processing unit.
+// execTask is the execution state of one task on its processing unit.  The
+// two fields the scheduling pass reads for every in-flight task every pass --
+// the wake cycle and the committed flag -- live in dense structure-of-arrays
+// slices on the sim (sim.wake, sim.committed) instead, so the skip checks
+// walk two small arrays rather than striding across task structs.
 type execTask struct {
 	rec  *taskRec
 	unit int
@@ -69,7 +76,6 @@ type execTask struct {
 	storesLeft int
 	startAt    int64
 	finishedAt int64
-	committed  bool
 
 	// fuNext points at the per-unit functional-unit reservation pool; at
 	// most one task executes on a unit at a time, so tasks sharing a unit
@@ -78,7 +84,29 @@ type execTask struct {
 	lastFetchBlock uint64
 	fetchReady     int64
 
-	// wake caches the cycle at which the task's current stall resolves when
+	wait     waitState
+	loadInfo []loadRecord
+}
+
+// never is the "no pending event" sentinel of the event-driven core.
+const never = int64(math.MaxInt64)
+
+// sim is the per-run execution state.  Every slice, map and subsystem it
+// holds is backing storage owned by the enclosing Simulator arena: reset()
+// re-slices and clears in place rather than re-allocating, so a reused
+// simulator's steady-state hot path performs no heap allocations.  The one
+// exception is the result maps (Result.MisspecPairs / DDCMissRate), which
+// escape into the engine's memoization cache and therefore must be freshly
+// allocated per run (see result()).
+type sim struct {
+	ctx   context.Context
+	cfg   Config
+	w     *WorkItem
+	tasks []execTask
+
+	// Structure-of-arrays per-task state, indexed by task id.
+	//
+	// wake caches the cycle at which a task's current stall resolves when
 	// that stall is purely timed (fetch latency, operand forwarding, FU
 	// occupancy, restart delay); the event-driven core skips the task's
 	// advance before then.  Zero means "poll every pass" -- the stall (if
@@ -88,20 +116,8 @@ type execTask struct {
 	// and a squash squashes every younger task -- including any task whose
 	// wake depended on the squashed state -- clearing their wake via
 	// resetExecState.
-	wake int64
-
-	wait     waitState
-	loadInfo []loadRecord
-}
-
-// never is the "no pending event" sentinel of the event-driven core.
-const never = int64(math.MaxInt64)
-
-type sim struct {
-	ctx   context.Context
-	cfg   Config
-	w     *WorkItem
-	tasks []execTask
+	wake      []int64
+	committed []bool
 
 	hier *cache.Hierarchy
 	arb  *arb.ARB
@@ -112,18 +128,35 @@ type sim struct {
 	cycle        int64
 	head         int
 	nextDispatch int
+	stepped      bool
 
 	// Event-driven bookkeeping for one scheduling pass: changed records
 	// whether any architectural state was mutated (in which case the next
 	// cycle must be simulated), nextEvent accumulates the earliest cycle at
-	// which a currently stalled condition can resolve by time alone.
+	// which a non-wake condition (head-task completion) can resolve by time
+	// alone, and events holds the pending per-task wake cycles as a pooled
+	// min-heap so the jump target is a peek instead of a window re-scan.
 	changed   bool
 	nextEvent int64
+	events    eventQueue
 
 	// fuPool holds one functional-unit reservation table per processing
-	// unit, shared by the successive tasks dispatched to that unit.
+	// unit, shared by the successive tasks dispatched to that unit.  All
+	// tables are carved from the flat fuAll arena array.
 	fuPool []([isa.NumClasses][]int64)
 	iBlock uint64
+
+	// pairBuf is the flat arena behind every loadRecord's predicted-pair
+	// window.  It only grows within a run (windows of squashed attempts
+	// leak until reset -- bounded by the number of load queries, and far
+	// cheaper than per-record slices); reset truncates it to zero.
+	pairBuf []memdep.PairKey
+
+	// Flat backing arrays for the per-task done/loadInfo slices and the FU
+	// pools, retained across runs.
+	doneAll []int64
+	loadAll []loadRecord
+	fuAll   []int64
 
 	arbBypasses uint64
 	res         Result
@@ -135,65 +168,6 @@ func Simulate(w *WorkItem, cfg Config) (Result, error) {
 	return SimulateContext(context.Background(), w, cfg)
 }
 
-// SimulateContext is Simulate with cooperative cancellation: the run loop
-// checks the context every few thousand scheduling passes and aborts with
-// ctx.Err(), so a cancelled service request stops burning CPU promptly
-// without a per-cycle branch on the hot path.
-func SimulateContext(ctx context.Context, w *WorkItem, cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
-	s := &sim{
-		ctx:  ctx,
-		cfg:  cfg,
-		w:    w,
-		hier: cache.NewHierarchy(cfg.Cache),
-		arb:  arb.New(cfg.ARB),
-		seq:  ctrlflow.NewSequencer(cfg.Sequencer),
-	}
-	s.iBlock = uint64(s.hier.Config().ICacheBlock)
-	if cfg.Policy.UsesPredictor() {
-		s.mds = memdep.NewSystem(cfg.MemDep)
-		s.mds.SetReleaseHook(s.wakeLoad)
-	}
-	for _, size := range cfg.DDCSizes {
-		s.ddcs = append(s.ddcs, memdep.NewDDC(size))
-	}
-
-	// All per-task execution state is carved out of three flat backing
-	// arrays sized by the work item, so a simulation performs O(stages)
-	// allocations regardless of task count or squash activity.
-	s.tasks = make([]execTask, len(w.tasks))
-	doneAll := make([]int64, w.Instructions)
-	loadAll := make([]loadRecord, w.Loads)
-	for i := range s.tasks {
-		t := &s.tasks[i]
-		t.rec = &w.tasks[i]
-		n := len(t.rec.insts)
-		t.done = doneAll[:n:n]
-		doneAll = doneAll[n:]
-		l := t.rec.loads
-		t.loadInfo = loadAll[:l:l]
-		loadAll = loadAll[l:]
-	}
-	s.fuPool = make([]([isa.NumClasses][]int64), cfg.Stages)
-	for u := range s.fuPool {
-		for c := 0; c < int(isa.NumClasses); c++ {
-			n := cfg.FUs[c]
-			if n < 1 {
-				n = 1
-			}
-			s.fuPool[u][c] = make([]int64, n)
-		}
-	}
-
-	if err := s.run(); err != nil {
-		return Result{}, err
-	}
-	return s.result(), nil
-}
-
 // post offers a cycle at which a currently stalled condition resolves by the
 // passage of time alone; run() jumps to the earliest such cycle when a
 // scheduling pass makes no progress.
@@ -201,6 +175,32 @@ func (s *sim) post(cycle int64) {
 	if cycle > s.cycle && cycle < s.nextEvent {
 		s.nextEvent = cycle
 	}
+}
+
+// setWake caches a task's timed wake cycle and, in the event-driven core,
+// records it in the wake heap so the jump-target peek sees it.  (The stepped
+// core never reads wake state, so the heap is left untouched there.)
+func (s *sim) setWake(t *execTask, cycle int64) {
+	s.wake[t.rec.id] = cycle
+	if !s.stepped {
+		s.events.set(cycle, int32(t.rec.id))
+	}
+}
+
+// nextWake returns the earliest still-valid wake event.  Entries whose task
+// has committed, or whose cycle no longer matches the task's current wake
+// (the stall was superseded or cleared), are discarded as they surface.
+func (s *sim) nextWake() (int64, bool) {
+	q := &s.events
+	for len(q.cy) > 0 {
+		c, id := q.cy[0], q.id[0]
+		if s.committed[id] || s.wake[id] != c {
+			q.pop()
+			continue
+		}
+		return c, true
+	}
+	return 0, false
 }
 
 // run drives the simulation to completion.
@@ -211,21 +211,22 @@ func (s *sim) post(cycle int64) {
 // the classic polling loop.  The event-driven core distinguishes two cases:
 // if the pass mutated any state, the next cycle must be simulated (the
 // mutation may enable more work immediately); if the pass was a pure poll --
-// every task stalled -- nothing can happen until the earliest posted event,
-// so the clock jumps there directly.  Stall reasons that resolve by time
-// (fetch latency, operand forwarding, FU occupancy, squash restart, task
-// completion) post their resolution cycle; stall reasons that resolve only
-// through another task's action (producer not yet executed, MDST waits,
-// unresolved prior stores) post nothing, because the enabling action is
-// itself a mutation that schedules the following cycle.  The two cores are
-// therefore cycle-for-cycle identical, which TestCoresCycleIdentical and the
+// every task stalled -- nothing can happen until the earliest pending event
+// (the wake heap's minimum, or a posted head-task completion), so the clock
+// jumps there directly.  Stall reasons that resolve by time (fetch latency,
+// operand forwarding, FU occupancy, squash restart, task completion) record
+// their resolution cycle; stall reasons that resolve only through another
+// task's action (producer not yet executed, MDST waits, unresolved prior
+// stores) record nothing, because the enabling action is itself a mutation
+// that schedules the following cycle.  The two cores are therefore
+// cycle-for-cycle identical, which TestCoresCycleIdentical and the
 // experiment-table equivalence test assert.
 func (s *sim) run() error {
 	// Dispatch the initial window.
 	for i := 0; i < s.cfg.Stages && i < len(s.tasks); i++ {
 		s.dispatch(i, int64(i)*int64(s.cfg.DispatchLatency))
 	}
-	stepped := s.cfg.Core == CoreStepped
+	stepped := s.stepped
 	var passes uint
 	for s.head < len(s.tasks) {
 		if s.cycle > s.cfg.MaxCycles {
@@ -240,29 +241,33 @@ func (s *sim) run() error {
 		s.changed = false
 		s.nextEvent = never
 		for i := s.head; i < s.nextDispatch; i++ {
-			t := &s.tasks[i]
-			if t.committed {
+			if s.committed[i] {
 				continue
 			}
-			if !stepped && s.cycle < t.wake {
+			if !stepped && s.cycle < s.wake[i] {
 				// Timed stall still pending; re-advancing would be a no-op.
-				s.post(t.wake)
+				// The wake heap already holds the resolution cycle.
 				continue
 			}
-			s.advance(t)
+			s.advance(&s.tasks[i])
 		}
 		s.tryCommit()
 		switch {
 		case stepped || s.changed:
 			s.cycle++
-		case s.nextEvent == never:
-			// No timed event pending and no progress made: the window can
-			// never advance again.  (The stepped core would spin here until
-			// the cycle limit; report the deadlock it is actually in.)
-			return fmt.Errorf("multiscalar: %q wedged at cycle %d under %v: no task can progress and no event is pending",
-				s.w.Name, s.cycle, s.cfg.Policy)
 		default:
-			s.cycle = s.nextEvent
+			next := s.nextEvent
+			if w, ok := s.nextWake(); ok && w < next {
+				next = w
+			}
+			if next == never {
+				// No timed event pending and no progress made: the window can
+				// never advance again.  (The stepped core would spin here until
+				// the cycle limit; report the deadlock it is actually in.)
+				return fmt.Errorf("multiscalar: %q wedged at cycle %d under %v: no task can progress and no event is pending",
+					s.w.Name, s.cycle, s.cfg.Policy)
+			}
+			s.cycle = next
 		}
 	}
 	return nil
@@ -306,11 +311,11 @@ func (s *sim) resetExecState(t *execTask, start int64) {
 	t.finishedAt = start
 	t.wait = waitState{}
 	for i := range t.loadInfo {
-		t.loadInfo[i] = loadRecord{pairs: t.loadInfo[i].pairs[:0]}
+		t.loadInfo[i] = loadRecord{}
 	}
 	t.lastFetchBlock = ^uint64(0)
 	t.fetchReady = 0
-	t.wake = 0
+	s.wake[t.rec.id] = 0
 	for c := range t.fuNext {
 		for i := range t.fuNext[c] {
 			t.fuNext[c][i] = 0
@@ -340,7 +345,7 @@ func (s *sim) tryCommit() {
 }
 
 func (s *sim) commitTask(t *execTask) {
-	t.committed = true
+	s.committed[t.rec.id] = true
 	s.res.Tasks++
 	s.arb.CommitTask(uint64(t.rec.id))
 	// Walk the loads in ascending instruction order so MDPT updates are
@@ -367,9 +372,16 @@ func (s *sim) commitTask(t *execTask) {
 			if info.actualDep {
 				actualPC = info.producerPC
 			}
-			s.mds.CommitLoad(r.pc, actualPC, info.pairs)
+			s.mds.CommitLoad(r.pc, actualPC, s.loadPairs(info))
 		}
 	}
+}
+
+// loadPairs resolves a load record's predicted-pair window in the pairBuf
+// arena.  The slice aliases arena storage: it is valid for immediate reads
+// only and must never be retained.
+func (s *sim) loadPairs(info *loadRecord) []memdep.PairKey {
+	return s.pairBuf[info.pairsOff : info.pairsOff+info.pairsLen]
 }
 
 // ringLatency is the forwarding delay between the units of two tasks over the
@@ -417,7 +429,7 @@ func (s *sim) operandReady(t *execTask, r *dynRec) (int64, bool) {
 // in-flight task has executed.
 func (s *sim) allPriorStoresResolved(t *execTask) bool {
 	for i := s.head; i < t.rec.id; i++ {
-		if !s.tasks[i].committed && s.tasks[i].storesLeft > 0 {
+		if !s.committed[i] && s.tasks[i].storesLeft > 0 {
 			return false
 		}
 	}
@@ -430,7 +442,7 @@ func (s *sim) actualDependence(t *execTask, r *dynRec) (bool, uint64) {
 	if !r.hasMemProd || r.memProd.taskIdx == t.rec.id {
 		return false, 0
 	}
-	if s.tasks[r.memProd.taskIdx].committed {
+	if s.committed[r.memProd.taskIdx] {
 		return false, 0
 	}
 	return true, r.memProdPC
@@ -521,7 +533,11 @@ func (s *sim) loadMayIssue(t *execTask, r *dynRec, instIdx int) bool {
 			info.predicted = d.Predicted
 			info.queried = true
 			info.ldid = ldid
-			info.pairs = append(info.pairs[:0], d.WaitPairs...)
+			// Copy the decision's pairs (which alias memdep.System scratch)
+			// into a fresh window of the pairBuf arena.
+			info.pairsOff = int32(len(s.pairBuf))
+			info.pairsLen = int32(len(d.WaitPairs))
+			s.pairBuf = append(s.pairBuf, d.WaitPairs...)
 			s.changed = true
 			if !d.Wait {
 				return true
@@ -615,15 +631,13 @@ func (s *sim) fuFreeAt(t *execTask, class isa.Class) int64 {
 }
 
 // advance issues up to IssueWidth instructions of the task this cycle.  Every
-// early return either marks progress (s.changed) or posts the cycle at which
-// the blocking condition resolves, so the event-driven core knows when the
-// task next becomes actionable.  Timed stalls additionally cache that cycle
-// in t.wake so the intervening passes skip the task entirely.
+// early return either marks progress (s.changed) or caches the cycle at which
+// the blocking condition resolves via setWake, so the event-driven core knows
+// when the task next becomes actionable and skips it until then.
 func (s *sim) advance(t *execTask) {
-	t.wake = 0
+	s.wake[t.rec.id] = 0
 	if s.cycle < t.startAt {
-		t.wake = t.startAt
-		s.post(t.startAt)
+		s.setWake(t, t.startAt)
 		return
 	}
 	if t.next >= len(t.rec.insts) {
@@ -645,8 +659,7 @@ func (s *sim) advance(t *execTask) {
 				s.changed = true
 			}
 			if s.cycle < t.fetchReady {
-				t.wake = t.fetchReady
-				s.post(t.fetchReady)
+				s.setWake(t, t.fetchReady)
 				return
 			}
 
@@ -657,8 +670,7 @@ func (s *sim) advance(t *execTask) {
 				return
 			}
 			if ready > s.cycle {
-				t.wake = ready
-				s.post(ready)
+				s.setWake(t, ready)
 				return
 			}
 		}
@@ -668,9 +680,7 @@ func (s *sim) advance(t *execTask) {
 		}
 
 		if !s.acquireFU(t, r.class, r.op, s.cycle) {
-			free := s.fuFreeAt(t, r.class)
-			t.wake = free
-			s.post(free)
+			s.setWake(t, s.fuFreeAt(t, r.class))
 			return
 		}
 
@@ -716,11 +726,11 @@ func (s *sim) arbLoad(t *execTask, r *dynRec) bool {
 // handleStore performs the store-side dependence work: ARB violation
 // detection (and the resulting squash) and MDST signalling.
 func (s *sim) handleStore(t *execTask, r *dynRec, instIdx int) {
-	v, ok := s.arb.Store(r.addr, uint64(t.rec.id))
+	v, violated, ok := s.arb.Store(r.addr, uint64(t.rec.id))
 	if !ok {
 		s.arbBypasses++
 	}
-	if v != nil {
+	if violated {
 		s.handleViolation(t, r, v)
 	}
 	if s.mds != nil {
@@ -737,11 +747,14 @@ func (s *sim) handleStore(t *execTask, r *dynRec, instIdx int) {
 
 // handleViolation records a detected mis-speculation and squashes the
 // offending task and all younger in-flight tasks.
-func (s *sim) handleViolation(storeTask *execTask, storeRec *dynRec, v *arb.Violation) {
+func (s *sim) handleViolation(storeTask *execTask, storeRec *dynRec, v arb.Violation) {
 	s.res.Misspeculations++
 	pair := memdep.PairKey{LoadPC: v.LoadPC, StorePC: storeRec.pc}
 	if s.res.MisspecPairs == nil {
-		s.res.MisspecPairs = make(map[memdep.PairKey]uint64)
+		// Freshly allocated per run (never arena-owned): the Result escapes
+		// into the engine's memoization cache and must not alias reused
+		// storage.  Most runs see only a handful of distinct pairs.
+		s.res.MisspecPairs = make(map[memdep.PairKey]uint64, 8)
 	}
 	s.res.MisspecPairs[pair]++
 	for _, ddc := range s.ddcs {
@@ -766,7 +779,7 @@ func (s *sim) handleViolation(storeTask *execTask, storeRec *dynRec, v *arb.Viol
 // squashTask discards the task's speculative work and schedules its restart
 // after the given delay.
 func (s *sim) squashTask(t *execTask, delay int64) {
-	if t.committed {
+	if s.committed[t.rec.id] {
 		return
 	}
 	s.res.Squashes++
@@ -810,6 +823,8 @@ func (s *sim) result() Result {
 		r.MemDep = s.mds.Stats()
 	}
 	if len(s.ddcs) > 0 {
+		// Freshly allocated per run for the same escape reason as
+		// MisspecPairs above.
 		r.DDCMissRate = make(map[int]float64, len(s.ddcs))
 		for _, ddc := range s.ddcs {
 			r.DDCMissRate[ddc.Capacity()] = ddc.MissRate() * 100

@@ -208,10 +208,16 @@ func (s *Session) RunGrid(ctx context.Context, reqs []Request) ([]*Result, error
 // every call, bypassing the session cache.  It exists for benchmarking
 // (cmd/memdep-perf times repeated executions); ordinary clients should use
 // Run, which is memoized.
+//
+// A Prepared owns a private simulator arena that Execute reuses from call to
+// call, so repeated executions measure simulation cost, not allocator
+// traffic.  Execute is therefore NOT safe for concurrent use; prepare one
+// per goroutine.
 type Prepared struct {
 	req  Request
 	item *multiscalar.WorkItem
 	cfg  multiscalar.Config
+	sim  *multiscalar.Simulator
 }
 
 // Prepare validates the request and resolves its work item through the
@@ -237,16 +243,17 @@ func (s *Session) Prepare(ctx context.Context, req Request) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{req: req, item: item, cfg: cfg}, nil
+	return &Prepared{req: req, item: item, cfg: cfg, sim: multiscalar.NewSimulator()}, nil
 }
 
 // Tasks returns the number of dynamic tasks in the prepared work item.
 func (p *Prepared) Tasks() int { return p.item.Tasks() }
 
-// Execute runs the simulation once, uncached.  The result skips the
-// static-pair annotation (no program image is attached).
+// Execute runs the simulation once, uncached, on the Prepared's reusable
+// arena.  The result skips the static-pair annotation (no program image is
+// attached).
 func (p *Prepared) Execute(ctx context.Context) (*Result, error) {
-	res, err := multiscalar.SimulateContext(ctx, p.item, p.cfg)
+	res, err := p.sim.Simulate(ctx, p.item, p.cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"memdep/internal/multiscalar"
@@ -342,5 +343,52 @@ func TestInspection(t *testing.T) {
 	if _, err := s.WindowGrid(ctx, []WindowRequest{{Bench: "compress"}, {Bench: "nope"}}); err == nil ||
 		!strings.Contains(err.Error(), "request 1") {
 		t.Errorf("grid error must carry the request index, got %v", err)
+	}
+}
+
+// TestConcurrentRunGridReusesWorkerArenas hammers one session's RunGrid from
+// many goroutines at once.  Each grid fans out over the engine's worker pool,
+// where every worker reuses a per-goroutine simulator arena (and misses of
+// the scratch store fall back to the package-level sync.Pool), so under
+// -race this is the regression gate for the pooled/reused simulators: arena
+// state must stay confined to one worker at a time, and every concurrent
+// result must match the serial reference.
+func TestConcurrentRunGridReusesWorkerArenas(t *testing.T) {
+	grid := []Request{}
+	for _, pol := range []Policy{PolicyAlways, PolicyNever, PolicyESync} {
+		for _, stages := range []int{4, 8} {
+			grid = append(grid, Request{Bench: "compress", Scale: 1, MaxInstructions: 10_000, Stages: stages, Policy: pol})
+		}
+	}
+
+	ref := NewSession(WithWorkers(1))
+	want, err := ref.RunGrid(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSession(WithWorkers(4))
+	const callers = 8
+	results := make([][]*Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = s.RunGrid(context.Background(), grid)
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		for j := range grid {
+			if !reflect.DeepEqual(results[i][j], want[j]) {
+				t.Errorf("caller %d, request %d: concurrent result diverged from serial reference", i, j)
+			}
+		}
 	}
 }
