@@ -1,0 +1,58 @@
+// Memdep-lint runs the repo's custom static-analysis suite
+// (internal/analysis): maporder, arenaescape, hotalloc, ctxflow and
+// fieldalign -- the machine-checked forms of the determinism,
+// arena-ownership, hot-path-allocation and cancellation invariants DESIGN.md
+// documents.
+//
+// It has two entry points:
+//
+//	go run ./cmd/memdep-lint ./...        # standalone: re-execs go vet with itself as the tool
+//	go vet -vettool=$(memdep-lint) ./...  # as a vet tool, speaking the unitchecker protocol
+//
+// Standalone mode forwards its arguments (package patterns and analyzer
+// flags such as -maporder.pkgs=...) to go vet verbatim and exits with vet's
+// status, so both entry points run the identical modular analysis.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"memdep/internal/analysis"
+)
+
+func main() {
+	// The unitchecker protocol invokes the tool with -V=full (version
+	// fingerprint), -flags (flag description) or a single *.cfg argument
+	// (one compilation unit).  Anything else is the standalone entry point.
+	for _, arg := range os.Args[1:] {
+		if strings.HasSuffix(arg, ".cfg") || arg == "-flags" || strings.HasPrefix(arg, "-V") || arg == "help" {
+			unitchecker.Main(analysis.All()...)
+		}
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memdep-lint: %v\n", err)
+		os.Exit(1)
+	}
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout, cmd.Stderr, cmd.Stdin = os.Stdout, os.Stderr, os.Stdin
+	if err := cmd.Run(); err != nil {
+		var exit *exec.ExitError
+		if errors.As(err, &exit) {
+			os.Exit(exit.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "memdep-lint: running go vet: %v\n", err)
+		os.Exit(1)
+	}
+}

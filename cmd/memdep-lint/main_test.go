@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the memdep-lint binary once per test binary.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "memdep-lint")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building memdep-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runInBadmod(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	// The bad module has no vendor directory; make sure inherited flags
+	// cannot force vendor (or any other) mode onto it.
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestBadModuleFails runs the multichecker over the known-bad testdata module
+// and asserts the expected diagnostics and a nonzero exit.
+func TestBadModuleFails(t *testing.T) {
+	bin := buildLint(t)
+	out, err := runInBadmod(t, bin, "./...")
+	if err == nil {
+		t.Fatalf("memdep-lint exited 0 on the bad module; output:\n%s", out)
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("memdep-lint did not run to a diagnostic exit: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"make([]int64) allocates",
+		"map literal allocates",
+		"//memdep:soa struct Padded occupies 24 bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output does not mention %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAnalyzerFlagsForwarded pins the standalone entry point's flag
+// forwarding: scoping maporder onto the bad module surfaces the unsorted map
+// iteration that the default package set would not cover.
+func TestAnalyzerFlagsForwarded(t *testing.T) {
+	bin := buildLint(t)
+	out, err := runInBadmod(t, bin, "-maporder.pkgs=badmod", "./...")
+	if err == nil {
+		t.Fatalf("memdep-lint exited 0 with maporder scoped to the bad module; output:\n%s", out)
+	}
+	if !strings.Contains(out, "range over map m has nondeterministic iteration order") {
+		t.Errorf("output does not mention the maporder diagnostic:\n%s", out)
+	}
+}

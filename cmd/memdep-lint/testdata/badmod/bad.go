@@ -1,0 +1,29 @@
+// Package badmod deliberately violates the memdep-lint invariants; the
+// memdep-lint main test runs the multichecker over this module and asserts
+// the diagnostics and the nonzero exit.
+package badmod
+
+//memdep:hotpath
+func Hot(n int) []int64 {
+	out := make([]int64, n)
+	m := map[int]bool{}
+	_ = m
+	return out
+}
+
+//memdep:soa
+type Padded struct {
+	A bool
+	B int64
+	C bool
+}
+
+// Sum iterates a map; it is only flagged when -maporder.pkgs names this
+// module, which the flag-forwarding subtest does.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

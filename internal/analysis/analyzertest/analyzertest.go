@@ -1,0 +1,187 @@
+// Package analyzertest runs a go/analysis analyzer over a testdata package
+// and checks its diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (which is not vendored with
+// the Go toolchain's x/tools subset, so the suite carries this small
+// offline-friendly equivalent).
+//
+// A want comment asserts the diagnostics reported on its own line:
+//
+//	for k := range m { // want `range over map`
+//
+// The backquoted (or double-quoted) strings are regular expressions; each
+// must match exactly one diagnostic on the line, and every diagnostic must be
+// matched by exactly one expectation.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Run loads the package rooted at testdata/src/<pkg> under dir, applies the
+// analyzer, and reports every mismatch between the diagnostics and the
+// // want expectations as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	pkgdir := filepath.Join(dir, "testdata", "src", pkg)
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, pkgdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking %s: %v", pkgdir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+		ResultOf:   make(map[*analysis.Analyzer]interface{}),
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:   os.ReadFile,
+	}
+	for _, req := range a.Requires {
+		if req == inspect.Analyzer {
+			pass.ResultOf[req] = inspector.New(files)
+			continue
+		}
+		t.Fatalf("analyzer %s requires %s, which this harness does not provide", a.Name, req.Name)
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	check(t, fset, files, diags)
+}
+
+// parseDir parses every .go file directly inside dir.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return files, nil
+}
+
+// wantRE extracts the quoted or backquoted expectation patterns from a
+// Comment whose text begins with "want".
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type key struct {
+	file string
+	line int
+}
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[key][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				for _, q := range wantRE.FindAllString(text[len("want "):], -1) {
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], q[1:len(q)-1])
+				}
+			}
+		}
+	}
+
+	got := make(map[key][]string)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		got[k] = append(got[k], d.Message)
+	}
+
+	for k, patterns := range wants {
+		msgs := append([]string(nil), got[k]...)
+		for _, p := range patterns {
+			re, err := regexp.Compile(p)
+			if err != nil {
+				t.Errorf("%s:%d: bad expectation %q: %v", k.file, k.line, p, err)
+				continue
+			}
+			matched := -1
+			for i, m := range msgs {
+				if m != "" && re.MatchString(m) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %q)", k.file, k.line, p, got[k])
+				continue
+			}
+			msgs[matched] = ""
+		}
+		for _, m := range msgs {
+			if m != "" {
+				t.Errorf("%s:%d: unexpected diagnostic %q", k.file, k.line, m)
+			}
+		}
+	}
+	var stray []string
+	for k, msgs := range got {
+		if _, ok := wants[k]; ok {
+			continue
+		}
+		for _, m := range msgs {
+			stray = append(stray, fmt.Sprintf("%s:%d: unexpected diagnostic %q", k.file, k.line, m))
+		}
+	}
+	sort.Strings(stray)
+	for _, s := range stray {
+		t.Error(s)
+	}
+}

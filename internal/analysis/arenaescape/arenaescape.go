@@ -1,0 +1,183 @@
+// Package arenaescape defines an analyzer that flags arena-owned storage
+// escaping into cached results.
+//
+// The multiscalar Simulator arena (PR 6) re-slices flat backing arrays on
+// every run; everything carved from them is valid for the current run only.
+// Results, by contrast, escape into the engine's memoization cache and
+// outlive any number of later runs.  Storing a slice (or subslice) of an
+// arena backing array into an escaping result silently corrupts cached
+// values on the next run -- the hazard DESIGN.md's ownership rules document.
+//
+// The analyzer is annotation-driven: struct fields marked //memdep:arena are
+// the arena backing arrays, and types marked //memdep:escapes are the
+// long-lived destinations.  Any assignment or composite literal that stores
+// an expression aliasing a marked field (the selector itself, or any chain of
+// slice expressions over it) into a marked type is reported, unless the site
+// carries a //lint:arenasafe justification.  Copies (slices.Clone, append
+// into a fresh slice) pass the marked selector through a call and are
+// naturally accepted.
+package arenaescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"memdep/internal/analysis/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "arenaescape",
+	Doc:      "flags //memdep:arena-backed slices stored into //memdep:escapes types without a copy or a //lint:arenasafe justification",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	arenaFields, escaping := collectMarkers(pass)
+	if len(arenaFields) == 0 || len(escaping) == 0 {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := directive.New(pass.Fset, pass.Files)
+
+	report := func(at ast.Expr, src types.Object, dst *types.TypeName) {
+		if dirs.Has(at.Pos(), "lint:arenasafe") {
+			return
+		}
+		pass.Reportf(at.Pos(), "%s aliases arena-owned storage (field %s is marked //memdep:arena) and escapes into %s (marked //memdep:escapes); store a copy instead or annotate the site with //lint:arenasafe", types.ExprString(at), src.Name(), dst.Name())
+	}
+
+	ins.Preorder([]ast.Node{(*ast.AssignStmt)(nil), (*ast.CompositeLit)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return
+			}
+			for i, lhs := range n.Lhs {
+				dst, ok := escapingDest(pass, lhs, escaping)
+				if !ok {
+					continue
+				}
+				if src, ok := arenaDerived(pass, n.Rhs[i], arenaFields); ok {
+					report(n.Rhs[i], src, dst)
+				}
+			}
+		case *ast.CompositeLit:
+			tn, ok := namedTypeName(pass.TypesInfo.TypeOf(n))
+			if !ok || !escaping[tn] {
+				return
+			}
+			for _, elt := range n.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if src, ok := arenaDerived(pass, val, arenaFields); ok {
+					report(val, src, tn)
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+// collectMarkers gathers the //memdep:arena fields and //memdep:escapes type
+// names declared in this package.
+func collectMarkers(pass *analysis.Pass) (map[types.Object]bool, map[*types.TypeName]bool) {
+	arenaFields := make(map[types.Object]bool)
+	escaping := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if directive.HasMarker(doc, "memdep:escapes") {
+					if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+						escaping[tn] = true
+					}
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if !directive.HasMarker(field.Doc, "memdep:arena") && !directive.HasMarker(field.Comment, "memdep:arena") {
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							arenaFields[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return arenaFields, escaping
+}
+
+// arenaDerived reports whether the expression aliases a marked arena field:
+// the field selector itself or any chain of slice expressions over it.
+func arenaDerived(pass *analysis.Pass, e ast.Expr, arenaFields map[types.Object]bool) (types.Object, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[x]
+			if !ok {
+				return nil, false
+			}
+			obj := sel.Obj()
+			return obj, arenaFields[obj]
+		default:
+			return nil, false
+		}
+	}
+}
+
+// escapingDest reports whether the assignment destination is a field of a
+// marked escaping type.
+func escapingDest(pass *analysis.Pass, lhs ast.Expr, escaping map[*types.TypeName]bool) (*types.TypeName, bool) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	tn, ok := namedTypeName(pass.TypesInfo.TypeOf(sel.X))
+	if !ok {
+		return nil, false
+	}
+	return tn, escaping[tn]
+}
+
+// namedTypeName resolves a (possibly pointer-to) named type to its TypeName.
+func namedTypeName(t types.Type) (*types.TypeName, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	return named.Obj(), true
+}

@@ -1,0 +1,12 @@
+package arenaescape_test
+
+import (
+	"testing"
+
+	"memdep/internal/analysis/analyzertest"
+	"memdep/internal/analysis/arenaescape"
+)
+
+func TestArenaescape(t *testing.T) {
+	analyzertest.Run(t, ".", arenaescape.Analyzer, "a")
+}

@@ -1,0 +1,32 @@
+package a
+
+type simulator struct {
+	//memdep:arena
+	doneAll []int64
+	//memdep:arena
+	loadAll []int32
+	scratch []int64
+}
+
+// Result is the escaping type: it outlives the run that produced it.
+//
+//memdep:escapes
+type Result struct {
+	Done  []int64
+	Loads []int32
+}
+
+func (s *simulator) build(n int) Result {
+	return Result{
+		Done:  s.doneAll[:n],   // want `aliases arena-owned storage`
+		Loads: s.loadAll[:n:n], // want `aliases arena-owned storage`
+	}
+}
+
+func (s *simulator) fill(r *Result, n int) {
+	r.Done = s.doneAll                              // want `aliases arena-owned storage`
+	r.Done = append([]int64(nil), s.doneAll[:n]...) // ok: copies out of the arena
+	r.Done = s.scratch                              // ok: scratch is not marked //memdep:arena
+	//lint:arenasafe the caller copies before the next run
+	r.Loads = s.loadAll
+}

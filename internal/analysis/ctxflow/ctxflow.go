@@ -1,0 +1,162 @@
+// Package ctxflow defines an analyzer that preserves the engine's
+// cancellation guarantees (PR 4): exported functions in the execution-engine
+// and facade packages that run work loops must accept a context.Context, so
+// a cancelled service request stops burning CPU.
+//
+// A "work loop" is either a non-range for statement that makes calls (poll,
+// retry and drain loops) or a range over caller-provided data (a slice, map
+// or channel parameter).  Ranges over fixed package-level tables are not
+// work loops: their trip count is a compile-time property, not a function of
+// the request.  Well-known non-cancellable interface methods (String, Error,
+// MarshalJSON, ...) are exempt, and anything else that is deliberately
+// synchronous carries a //lint:noctx justification in its doc comment.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"memdep/internal/analysis/directive"
+)
+
+// DefaultPackages is the package set whose exported API must stay
+// cancellable: the execution engine and the public facade.
+const DefaultPackages = "memdep/internal/engine,memdep/sim"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxflow",
+	Doc:      "flags exported engine/facade functions that run work loops without accepting a context.Context, unless justified with //lint:noctx",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var pkgsFlag string
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgsFlag, "pkgs", DefaultPackages, "comma-separated import paths the rule applies to")
+}
+
+// exemptMethods are interface methods whose signatures are fixed by their
+// interfaces and that must complete without cancellation.
+var exemptMethods = map[string]bool{
+	"String": true, "Error": true, "GoString": true, "Format": true,
+	"MarshalJSON": true, "UnmarshalJSON": true, "MarshalText": true, "UnmarshalText": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !applies(pass.Pkg.Path(), pkgsFlag) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := directive.New(pass.Fset, pass.Files)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || !fd.Name.IsExported() || exemptMethods[fd.Name.Name] {
+			return
+		}
+		if strings.HasSuffix(pass.Fset.Position(fd.Pos()).Filename, "_test.go") {
+			return
+		}
+		if hasContextParam(pass, fd) {
+			return
+		}
+		if directive.HasMarker(fd.Doc, "lint:noctx") || dirs.Has(fd.Pos(), "lint:noctx") {
+			return
+		}
+		if !hasWorkLoop(pass, fd) {
+			return
+		}
+		pass.Reportf(fd.Name.Pos(), "exported %s runs a work loop without accepting a context.Context; thread a ctx through it so the work stays cancellable, or justify with //lint:noctx", fd.Name.Name)
+	})
+	return nil, nil
+}
+
+func applies(path, pkgs string) bool {
+	for _, p := range strings.Split(pkgs, ",") {
+		if path == strings.TrimSpace(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasContextParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasWorkLoop reports whether the function body contains a polling for-loop
+// with calls, or a range over one of the function's own slice/map/channel
+// parameters.
+func hasWorkLoop(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	params := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if containsCall(n.Body) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if rangesOverParam(pass, n, params) && containsCall(n.Body) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func rangesOverParam(pass *analysis.Pass, rs *ast.RangeStmt, params map[types.Object]bool) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Chan:
+	default:
+		return false
+	}
+	id, ok := ast.Unparen(rs.X).(*ast.Ident)
+	return ok && params[pass.TypesInfo.ObjectOf(id)]
+}
+
+func containsCall(body *ast.BlockStmt) bool {
+	has := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			has = true
+		}
+		return !has
+	})
+	return has
+}

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"memdep/internal/analysis/analyzertest"
+	"memdep/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	if err := ctxflow.Analyzer.Flags.Set("pkgs", "a"); err != nil {
+		t.Fatal(err)
+	}
+	defer ctxflow.Analyzer.Flags.Set("pkgs", ctxflow.DefaultPackages)
+	analyzertest.Run(t, ".", ctxflow.Analyzer, "a")
+}

@@ -1,0 +1,65 @@
+package a
+
+import "context"
+
+var names = []string{"compress", "gcc", "xlisp"}
+
+func work() {}
+
+func Poll() { // want `exported Poll runs a work loop without accepting a context.Context`
+	for {
+		work()
+	}
+}
+
+func Drain(jobs []func()) { // want `exported Drain runs a work loop without accepting a context.Context`
+	for _, j := range jobs {
+		j()
+	}
+}
+
+func RunAll(ctx context.Context, jobs []func()) {
+	for _, j := range jobs {
+		if ctx.Err() != nil {
+			return
+		}
+		j()
+	}
+}
+
+// Names ranges over a fixed package-level table, not caller-provided work.
+func Names() []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Spin would be flagged, but carries a justification.
+//
+//lint:noctx bounded three-iteration warmup, microseconds of work
+func Spin() {
+	for i := 0; i < 3; i++ {
+		work()
+	}
+}
+
+type V struct{}
+
+// String is exempt: fmt.Stringer cannot take a context.
+func (V) String() string {
+	s := ""
+	for {
+		if len(s) > 3 {
+			return s
+		}
+		s += "x"
+	}
+}
+
+func internalLoop(jobs []func()) { // ok: unexported
+	for _, j := range jobs {
+		j()
+	}
+}

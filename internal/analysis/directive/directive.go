@@ -1,0 +1,97 @@
+// Package directive indexes the comment directives the memdep-lint
+// analyzers honour.
+//
+// Two families exist.  Marker directives (//memdep:hotpath, //memdep:arena,
+// //memdep:escapes, //memdep:soa) opt a declaration into a rule: they live in
+// the doc or trailing comment of the function, field or type they mark.
+// Suppression directives (//lint:deterministic, //lint:arenasafe,
+// //lint:alloc-ok, //lint:noctx) carry a justification for one specific site
+// the rule would otherwise flag: they are honoured on the flagged line itself
+// or on the line immediately above it, and everything after the directive
+// name is free-form rationale text.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Index is a per-file line → directive-name lookup built from the comments of
+// a package's syntax trees.
+type Index struct {
+	fset  *token.FileSet
+	lines map[string]map[int][]string
+}
+
+// New indexes every //lint: and //memdep: comment in the files.
+func New(fset *token.FileSet, files []*ast.File) *Index {
+	idx := &Index{fset: fset, lines: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := directiveName(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				m := idx.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					idx.lines[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], name)
+			}
+		}
+	}
+	return idx
+}
+
+// Has reports whether the named directive (e.g. "lint:deterministic") is
+// present on the position's line or on the line immediately above it.
+func (idx *Index) Has(pos token.Pos, name string) bool {
+	p := idx.fset.Position(pos)
+	m := idx.lines[p.Filename]
+	if m == nil {
+		return false
+	}
+	return contains(m[p.Line], name) || contains(m[p.Line-1], name)
+}
+
+// HasMarker reports whether the comment group carries the named marker
+// directive (e.g. "memdep:hotpath").
+func HasMarker(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if got, ok := directiveName(c.Text); ok && got == name {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveName extracts the directive name from a raw comment: the text
+// between "//" and the first space, when it starts with one of the recognized
+// prefixes.  Directives are machine-readable comments in the Go toolchain
+// sense: no space after "//".
+func directiveName(text string) (string, bool) {
+	if !strings.HasPrefix(text, "//lint:") && !strings.HasPrefix(text, "//memdep:") {
+		return "", false
+	}
+	name := text[len("//"):]
+	if i := strings.IndexAny(name, " \t"); i >= 0 {
+		name = name[:i]
+	}
+	return name, true
+}
+
+func contains(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+// Package fieldalign defines an analyzer that checks the field layout of
+// structs annotated //memdep:soa.
+//
+// The simulator's hot structs are walked densely (per task, per load, per
+// heap entry); padding inflates their stride and wastes cache lines.  For
+// every annotated struct the analyzer computes the size an optimal field
+// order would occupy (largest alignment first, then largest size -- the
+// classic fieldalignment packing) and reports the struct when its declared
+// order wastes bytes, naming the suggested order.  It deliberately checks
+// only annotated structs: reordering is an ABI-visible change (composite
+// literals, reflection), so the rule is opt-in for the layouts the hot path
+// actually strides over.
+package fieldalign
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"memdep/internal/analysis/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "fieldalign",
+	Doc:      "flags //memdep:soa structs whose field order wastes padding bytes against the optimal layout",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.GenDecl)(nil)}, func(n ast.Node) {
+		gd := n.(*ast.GenDecl)
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			doc := ts.Doc
+			if doc == nil && len(gd.Specs) == 1 {
+				doc = gd.Doc
+			}
+			if !directive.HasMarker(doc, "memdep:soa") {
+				continue
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok || st.NumFields() == 0 {
+				continue
+			}
+			cur := pass.TypesSizes.Sizeof(st)
+			opt, order := optimalLayout(st, pass.TypesSizes)
+			if opt < cur {
+				pass.Reportf(ts.Name.Pos(), "//memdep:soa struct %s occupies %d bytes; reordering its fields to (%s) would occupy %d bytes", ts.Name.Name, cur, strings.Join(order, ", "), opt)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// optimalLayout computes the size of the struct under the canonical packing
+// order -- fields sorted by decreasing alignment, then decreasing size, then
+// declaration order -- and the field names in that order.
+func optimalLayout(st *types.Struct, sizes types.Sizes) (int64, []string) {
+	n := st.NumFields()
+	fields := make([]*types.Var, n)
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	sort.SliceStable(fields, func(i, j int) bool {
+		ai, aj := sizes.Alignof(fields[i].Type()), sizes.Alignof(fields[j].Type())
+		if ai != aj {
+			return ai > aj
+		}
+		return sizes.Sizeof(fields[i].Type()) > sizes.Sizeof(fields[j].Type())
+	})
+	names := make([]string, n)
+	fresh := make([]*types.Var, n)
+	for i, f := range fields {
+		names[i] = f.Name()
+		fresh[i] = types.NewField(token.NoPos, f.Pkg(), f.Name(), f.Type(), f.Embedded())
+	}
+	return sizes.Sizeof(types.NewStruct(fresh, nil)), names
+}

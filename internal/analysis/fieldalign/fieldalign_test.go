@@ -1,0 +1,12 @@
+package fieldalign_test
+
+import (
+	"testing"
+
+	"memdep/internal/analysis/analyzertest"
+	"memdep/internal/analysis/fieldalign"
+)
+
+func TestFieldalign(t *testing.T) {
+	analyzertest.Run(t, ".", fieldalign.Analyzer, "a")
+}

@@ -1,0 +1,31 @@
+package a
+
+//memdep:soa
+type padded struct { // want `//memdep:soa struct padded occupies 24 bytes; reordering its fields to \(b, a, c\) would occupy 16 bytes`
+	a bool
+	b int64
+	c bool
+}
+
+//memdep:soa
+type interleaved struct { // want `//memdep:soa struct interleaved occupies 24 bytes; reordering its fields to \(y, w, x, z\) would occupy 16 bytes`
+	x byte
+	y int64
+	z byte
+	w int32
+}
+
+//memdep:soa
+type dense struct { // ok: already optimal
+	wake      int64
+	committed bool
+	seen      bool
+}
+
+// unmarked wastes padding but is not opted in: reordering is ABI-visible, so
+// the rule only checks annotated hot structs.
+type unmarked struct {
+	a bool
+	b int64
+	c bool
+}

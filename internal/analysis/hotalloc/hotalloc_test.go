@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"memdep/internal/analysis/analyzertest"
+	"memdep/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analyzertest.Run(t, ".", hotalloc.Analyzer, "a")
+}

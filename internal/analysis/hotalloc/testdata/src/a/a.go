@@ -1,0 +1,41 @@
+package a
+
+type queue struct {
+	buf []int64
+}
+
+// push is the pooled-heap idiom: the append is deliberate amortized growth.
+//
+//memdep:hotpath
+func (q *queue) push(c int64) {
+	q.buf = append(q.buf, c) // want `append to q.buf may grow its backing array`
+}
+
+//memdep:hotpath
+func hot(n int) []int64 {
+	out := make([]int64, n) // want `make\(\[\]int64\) allocates`
+	seen := map[int]bool{}  // want `map literal allocates`
+	_ = seen
+	xs := []int{1, 2, 3} // want `slice literal allocates`
+	_ = xs
+	p := new(queue) // want `new\(queue\) allocates`
+	_ = p
+	e := &queue{} // want `&queue composite literal escapes to the heap`
+	_ = e
+	f := func() {} // want `function literal allocates a closure`
+	f()
+	return out
+}
+
+//memdep:hotpath
+func reuse(buf, vals []int64) []int64 {
+	out := append(buf[:0], vals...) // ok: arena reuse, grows only past high-water mark
+	//lint:alloc-ok grow-once arena append, amortized to zero per op
+	out = append(out, 1)
+	return out
+}
+
+// cold is unannotated: allocations here are not the hot path's business.
+func cold(n int) []int64 {
+	return make([]int64, n)
+}

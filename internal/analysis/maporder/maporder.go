@@ -1,0 +1,179 @@
+// Package maporder defines an analyzer that flags range statements over maps
+// inside the repo's result-producing packages.
+//
+// Simulation results must be bit-for-bit deterministic: EXPERIMENTS.md is
+// diffed byte-for-byte in CI, the engine memoizes results by key, and the
+// golden tests pin exact outputs.  Iterating a map while producing any of
+// that state is the exact bug class PR 2 had to fix (commit- and squash-time
+// MDPT/MDST updates used to apply in nondeterministic map order).  A range
+// over a map is accepted only when the loop demonstrably collects the keys
+// (or values) into a slice that is later sorted in the same function, or when
+// it carries a //lint:deterministic justification on or above the loop.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"memdep/internal/analysis/directive"
+)
+
+// DefaultPackages is the result-producing package set the rule applies to by
+// default: the timing simulator, the predictor subsystem, the experiment
+// drivers and the public facade.
+const DefaultPackages = "memdep/internal/multiscalar,memdep/internal/memdep,memdep/internal/experiments,memdep/sim"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flags nondeterministic map iteration in result-producing code unless the keys are sorted before use or the site carries a //lint:deterministic justification",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var pkgsFlag string
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgsFlag, "pkgs", DefaultPackages, "comma-separated import paths the rule applies to")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !applies(pass.Pkg.Path(), pkgsFlag) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := directive.New(pass.Fset, pass.Files)
+
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rs := n.(*ast.RangeStmt)
+		if strings.HasSuffix(pass.Fset.Position(rs.Pos()).Filename, "_test.go") {
+			return true
+		}
+		typ := pass.TypesInfo.TypeOf(rs.X)
+		if typ == nil {
+			return true
+		}
+		if _, ok := typ.Underlying().(*types.Map); !ok {
+			return true
+		}
+		if dirs.Has(rs.Pos(), "lint:deterministic") {
+			return true
+		}
+		if collectsThenSorts(pass, rs, stack) {
+			return true
+		}
+		pass.Reportf(rs.Pos(), "range over map %s has nondeterministic iteration order in result-producing code; sort the keys before use or annotate the loop with //lint:deterministic", types.ExprString(rs.X))
+		return true
+	})
+	return nil, nil
+}
+
+func applies(path, pkgs string) bool {
+	for _, p := range strings.Split(pkgs, ",") {
+		if path == strings.TrimSpace(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectsThenSorts recognizes the sanctioned pattern: the loop body is a
+// single append of the iteration variable(s) into a slice, and the enclosing
+// function later sorts that slice (sort.Strings/Ints/Float64s/Slice/
+// SliceStable or slices.Sort/SortFunc/SortStableFunc), making every
+// subsequent use order-independent.
+func collectsThenSorts(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(pass, call, "append") {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(lhs)
+	if obj == nil {
+		return false
+	}
+
+	// Innermost enclosing function body.
+	var body *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if isSortCall(pass, call, obj) {
+			sorted = true
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+var sortFuncs = map[string]map[string]bool{
+	"sort":   {"Strings": true, "Ints": true, "Float64s": true, "Slice": true, "SliceStable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// isSortCall reports whether call sorts the slice bound to obj via one of the
+// recognized sort/slices functions.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	names, ok := sortFuncs[pkgName.Imported().Path()]
+	if !ok || !names[sel.Sel.Name] {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(arg) == obj
+}

@@ -1,0 +1,26 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"memdep/internal/analysis/analyzertest"
+	"memdep/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	if err := maporder.Analyzer.Flags.Set("pkgs", "a"); err != nil {
+		t.Fatal(err)
+	}
+	defer maporder.Analyzer.Flags.Set("pkgs", maporder.DefaultPackages)
+	analyzertest.Run(t, ".", maporder.Analyzer, "a")
+}
+
+// TestMaporderSkipsOtherPackages pins the scoping: a package outside the
+// configured set reports nothing even though it ranges over maps.
+func TestMaporderSkipsOtherPackages(t *testing.T) {
+	if err := maporder.Analyzer.Flags.Set("pkgs", "not-this-package"); err != nil {
+		t.Fatal(err)
+	}
+	defer maporder.Analyzer.Flags.Set("pkgs", maporder.DefaultPackages)
+	analyzertest.Run(t, ".", maporder.Analyzer, "scoped")
+}

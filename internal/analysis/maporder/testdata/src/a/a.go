@@ -1,0 +1,66 @@
+package a
+
+import (
+	"slices"
+	"sort"
+)
+
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m has nondeterministic iteration order`
+		total += v
+	}
+	return total
+}
+
+func firstKey(ms map[int]map[string]int) string {
+	for _, inner := range ms { // want `range over map ms has nondeterministic iteration order`
+		for k := range inner { // want `range over map inner has nondeterministic iteration order`
+			return k
+		}
+	}
+	return ""
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: keys are collected and sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeysSlices(m map[int]bool) []int {
+	var keys []int
+	for k := range m { // ok: keys are collected and sorted before use
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+func collectedButNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func justifiedCount(m map[string]int) int {
+	n := 0
+	//lint:deterministic pure count, order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sliceRangeIsFine(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

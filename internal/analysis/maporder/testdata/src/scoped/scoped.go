@@ -1,0 +1,12 @@
+package scoped
+
+// This package is outside the configured -maporder.pkgs set, so its map
+// ranges are not result-producing and report nothing.
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,26 @@
+// Package analysis assembles memdep-lint, the repo's custom static-analysis
+// suite.  Each analyzer turns one historically hand-fixed bug class into a
+// machine-checked invariant; DESIGN.md's "Enforced invariants" section
+// documents every rule and its annotation escape hatch.
+package analysis
+
+import (
+	xanalysis "golang.org/x/tools/go/analysis"
+
+	"memdep/internal/analysis/arenaescape"
+	"memdep/internal/analysis/ctxflow"
+	"memdep/internal/analysis/fieldalign"
+	"memdep/internal/analysis/hotalloc"
+	"memdep/internal/analysis/maporder"
+)
+
+// All returns the memdep-lint analyzers in a stable order.
+func All() []*xanalysis.Analyzer {
+	return []*xanalysis.Analyzer{
+		arenaescape.Analyzer,
+		ctxflow.Analyzer,
+		fieldalign.Analyzer,
+		hotalloc.Analyzer,
+		maporder.Analyzer,
+	}
+}

@@ -134,6 +134,8 @@ func (a *ARB) bankOf(addr uint64) int {
 
 // lookup finds or allocates the entry for addr.  It returns nil when the bank
 // is full and the address is not yet tracked.
+//
+//memdep:hotpath
 func (a *ARB) lookup(addr uint64, alloc bool) *entry {
 	b := a.banks[a.bankOf(addr)]
 	if e, ok := b[addr]; ok {
@@ -151,7 +153,7 @@ func (a *ARB) lookup(addr uint64, alloc bool) *entry {
 		a.entryFree = a.entryFree[:n-1]
 		e.tasks = e.tasks[:0]
 	} else {
-		e = &entry{}
+		e = &entry{} //lint:alloc-ok pool miss: grows the entry pool once, reused thereafter
 	}
 	b[addr] = e
 	return e
@@ -159,6 +161,8 @@ func (a *ARB) lookup(addr uint64, alloc bool) *entry {
 
 // access returns the task's record for the entry, creating it (and
 // registering the address in the task's touched index) on first contact.
+//
+//memdep:hotpath
 func (a *ARB) access(e *entry, addr, taskID uint64) *taskRecord {
 	if ta := e.find(taskID); ta != nil {
 		return ta
@@ -170,13 +174,15 @@ func (a *ARB) access(e *entry, addr, taskID uint64) *taskRecord {
 			a.touchedFree = a.touchedFree[:n-1]
 		}
 	}
-	a.touched[taskID] = append(ts, addr)
-	e.tasks = append(e.tasks, taskRecord{id: taskID})
+	a.touched[taskID] = append(ts, addr)              //lint:alloc-ok amortized: per-task touched list reuses pooled backing
+	e.tasks = append(e.tasks, taskRecord{id: taskID}) //lint:alloc-ok amortized: per-entry task list grows to working-set size once
 	return &e.tasks[len(e.tasks)-1]
 }
 
 // Load records a load of addr by taskID.  ok is false when the ARB bank is
 // full and the access must stall; the caller should retry later.
+//
+//memdep:hotpath
 func (a *ARB) Load(addr uint64, taskID uint64, loadPC uint64) (ok bool) {
 	e := a.lookup(addr, true)
 	if e == nil {
@@ -203,6 +209,8 @@ func (a *ARB) Load(addr uint64, taskID uint64, loadPC uint64) (ok bool) {
 // value (violated reports whether it is meaningful) so the per-store hot
 // path never allocates.  ok is false when the ARB bank is full and the
 // store must stall.
+//
+//memdep:hotpath
 func (a *ARB) Store(addr uint64, taskID uint64) (v Violation, violated, ok bool) {
 	e := a.lookup(addr, true)
 	if e == nil {
@@ -231,6 +239,8 @@ func (a *ARB) Store(addr uint64, taskID uint64) (v Violation, violated, ok bool)
 
 // CommitTask discards the bookkeeping of a task that has committed.  Empty
 // address entries are reclaimed.
+//
+//memdep:hotpath
 func (a *ARB) CommitTask(taskID uint64) {
 	a.dropTask(taskID)
 }
@@ -238,10 +248,13 @@ func (a *ARB) CommitTask(taskID uint64) {
 // SquashTask discards the bookkeeping of a task that has been squashed (its
 // accesses never happened as far as the ARB is concerned; the re-execution
 // will re-insert them).
+//
+//memdep:hotpath
 func (a *ARB) SquashTask(taskID uint64) {
 	a.dropTask(taskID)
 }
 
+//memdep:hotpath
 func (a *ARB) dropTask(taskID uint64) {
 	addrs, ok := a.touched[taskID]
 	if !ok {
@@ -263,10 +276,10 @@ func (a *ARB) dropTask(taskID uint64) {
 		}
 		if len(e.tasks) == 0 {
 			delete(bank, addr)
-			a.entryFree = append(a.entryFree, e)
+			a.entryFree = append(a.entryFree, e) //lint:alloc-ok pooled free list grows to working-set size once
 		}
 	}
-	a.touchedFree = append(a.touchedFree, addrs[:0])
+	a.touchedFree = append(a.touchedFree, addrs[:0]) //lint:alloc-ok pooled free list grows to working-set size once
 	delete(a.touched, taskID)
 }
 

@@ -60,8 +60,8 @@ func (r *Runner) windowBatch(ctx context.Context, ddcSizes []int) (map[string][]
 		return nil, err
 	}
 	perBench := make(map[string][]window.Result, len(refs))
-	for name, ref := range refs {
-		perBench[name] = engine.Get[[]window.Result](b, ref)
+	for _, name := range workload.SPECint92Names() {
+		perBench[name] = engine.Get[[]window.Result](b, refs[name])
 	}
 	return perBench, nil
 }

@@ -50,16 +50,32 @@ func (d *DDC) Access(pair PairKey) bool {
 	return false
 }
 
+// evictLRU removes the least recently used pair.  Access stamps every touch
+// with a fresh clock value, so timestamps are unique in practice, but the
+// victim must not depend on map iteration order: the explicit PairKey
+// tie-break keeps eviction deterministic even if that invariant is ever
+// relaxed.
 func (d *DDC) evictLRU() {
 	var victim PairKey
 	oldest := uint64(1<<64 - 1)
-	for pair, when := range d.entries {
-		if when < oldest {
+	first := true
+	for pair, when := range d.entries { //lint:deterministic strict min-reduction with PairKey tie-break
+		if first || when < oldest || (when == oldest && pairKeyLess(pair, victim)) {
+			first = false
 			oldest = when
 			victim = pair
 		}
 	}
 	delete(d.entries, victim)
+}
+
+// pairKeyLess orders PairKeys by (LoadPC, StorePC); it is the eviction
+// tie-break, not a semantic ordering.
+func pairKeyLess(a, b PairKey) bool {
+	if a.LoadPC != b.LoadPC {
+		return a.LoadPC < b.LoadPC
+	}
+	return a.StorePC < b.StorePC
 }
 
 // Hits returns the number of accesses that found their pair cached.

@@ -157,3 +157,28 @@ func TestDDCMonotoneInCapacity(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDDCEvictionTieBreakDeterministic forces the situation evictLRU must not
+// decide by map iteration order: several entries sharing the same timestamp.
+// Access never produces ties (the clock advances on every touch), but the
+// eviction policy must stay deterministic even without that invariant, so the
+// victim on a tie is pinned to the smallest (LoadPC, StorePC) pair.
+func TestDDCEvictionTieBreakDeterministic(t *testing.T) {
+	for trial := 0; trial < 32; trial++ {
+		d := NewDDC(3)
+		d.entries[PairKey{LoadPC: 0x300, StorePC: 0x30}] = 7
+		d.entries[PairKey{LoadPC: 0x100, StorePC: 0x20}] = 7
+		d.entries[PairKey{LoadPC: 0x100, StorePC: 0x10}] = 7
+		d.clock = 7
+		// The cache is full; the next miss evicts exactly one tied entry.
+		if d.Access(PairKey{LoadPC: 0x400, StorePC: 0x40}) {
+			t.Fatal("new pair must miss")
+		}
+		if d.Contains(PairKey{LoadPC: 0x100, StorePC: 0x10}) {
+			t.Fatalf("trial %d: tie-break victim must be the smallest pair (0x100,0x10)", trial)
+		}
+		if !d.Contains(PairKey{LoadPC: 0x100, StorePC: 0x20}) || !d.Contains(PairKey{LoadPC: 0x300, StorePC: 0x30}) {
+			t.Fatalf("trial %d: non-victim tied entries must survive", trial)
+		}
+	}
+}

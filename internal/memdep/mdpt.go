@@ -114,6 +114,8 @@ func (t *MDPT) unlink(i int32) {
 }
 
 // find returns the entry for the exact static pair, or nil.
+//
+//memdep:hotpath
 func (t *MDPT) find(pair PairKey) *mdptEntry {
 	if i, ok := t.pairIdx[pair]; ok {
 		return &t.entries[i]
@@ -122,6 +124,8 @@ func (t *MDPT) find(pair PairKey) *mdptEntry {
 }
 
 // Lookup returns the prediction state for the pair, if present.
+//
+//memdep:hotpath
 func (t *MDPT) Lookup(pair PairKey) (Prediction, bool) {
 	if e := t.find(pair); e != nil {
 		return t.prediction(e), true
@@ -160,11 +164,13 @@ func (t *MDPT) predicts(e *mdptEntry) bool {
 // load PC matches (a load may have multiple static dependences, section
 // 4.4.4) and returns the extended slice.  dst is caller-owned: results are
 // never invalidated by a later call.
+//
+//memdep:hotpath
 func (t *MDPT) MatchesForLoad(loadPC uint64, dst []Prediction) []Prediction {
 	for _, i := range t.loadIdx[loadPC] {
 		e := &t.entries[i]
 		t.touch(e)
-		dst = append(dst, t.prediction(e))
+		dst = append(dst, t.prediction(e)) //lint:alloc-ok caller-owned scratch buffer, growth amortized
 	}
 	return dst
 }
@@ -172,11 +178,13 @@ func (t *MDPT) MatchesForLoad(loadPC uint64, dst []Prediction) []Prediction {
 // MatchesForStore appends to dst the predictions of all valid entries whose
 // store PC matches and returns the extended slice.  dst is caller-owned:
 // results are never invalidated by a later call.
+//
+//memdep:hotpath
 func (t *MDPT) MatchesForStore(storePC uint64, dst []Prediction) []Prediction {
 	for _, i := range t.storeIdx[storePC] {
 		e := &t.entries[i]
 		t.touch(e)
-		dst = append(dst, t.prediction(e))
+		dst = append(dst, t.prediction(e)) //lint:alloc-ok caller-owned scratch buffer, growth amortized
 	}
 	return dst
 }
@@ -287,10 +295,10 @@ func (t *MDPT) Reset() {
 		t.entries[i] = mdptEntry{}
 	}
 	clear(t.pairIdx)
-	for pc, s := range t.loadIdx {
+	for pc, s := range t.loadIdx { //lint:deterministic in-place clear, every key treated identically
 		t.loadIdx[pc] = s[:0]
 	}
-	for pc, s := range t.storeIdx {
+	for pc, s := range t.storeIdx { //lint:deterministic in-place clear, every key treated identically
 		t.storeIdx[pc] = s[:0]
 	}
 	t.clock = 0

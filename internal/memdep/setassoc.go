@@ -122,13 +122,15 @@ func (t *SetAssocMDPT) Lookup(pair PairKey) (Prediction, bool) {
 
 // MatchesForLoad implements Predictor with an O(ways) probe of the load's
 // set.  dst is caller-owned: results are never invalidated by a later call.
+//
+//memdep:hotpath
 func (t *SetAssocMDPT) MatchesForLoad(loadPC uint64, dst []Prediction) []Prediction {
 	base := t.setBase(loadPC)
 	for i := base; i < base+t.ways; i++ {
 		e := &t.entries[i]
 		if e.valid && e.loadPC == loadPC {
 			t.touch(e)
-			dst = append(dst, t.prediction(e))
+			dst = append(dst, t.prediction(e)) //lint:alloc-ok caller-owned scratch buffer, growth amortized
 		}
 	}
 	return dst
@@ -136,12 +138,14 @@ func (t *SetAssocMDPT) MatchesForLoad(loadPC uint64, dst []Prediction) []Predict
 
 // MatchesForStore implements Predictor through the inverted store index.
 // dst is caller-owned: results are never invalidated by a later call.
+//
+//memdep:hotpath
 func (t *SetAssocMDPT) MatchesForStore(storePC uint64, dst []Prediction) []Prediction {
 	for _, slot := range t.storeIdx[storePC] {
 		e := &t.entries[slot]
 		if e.valid && e.storePC == storePC {
 			t.touch(e)
-			dst = append(dst, t.prediction(e))
+			dst = append(dst, t.prediction(e)) //lint:alloc-ok caller-owned scratch buffer, growth amortized
 		}
 	}
 	return dst
@@ -257,7 +261,7 @@ func (t *SetAssocMDPT) Reset() {
 	for i := range t.entries {
 		t.entries[i] = mdptEntry{}
 	}
-	for pc, s := range t.storeIdx {
+	for pc, s := range t.storeIdx { //lint:deterministic in-place clear, every key treated identically
 		t.storeIdx[pc] = s[:0]
 	}
 	t.clock = 0

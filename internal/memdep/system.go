@@ -159,6 +159,8 @@ func (s *System) loadInstanceTag(q LoadQuery) uint64 {
 // MDPT by the load's PC; for every matching entry whose predictor warrants
 // synchronization it either consumes an already-full condition variable or
 // allocates a waiting entry in the MDST.
+//
+//memdep:hotpath
 func (s *System) LoadIssue(q LoadQuery) LoadDecision {
 	s.stats.LoadQueries++
 	s.waitScratch = s.waitScratch[:0]
@@ -183,9 +185,9 @@ func (s *System) LoadIssue(q LoadQuery) LoadDecision {
 		tag := s.loadInstanceTag(q)
 		if s.mdst.AllocWaiting(pred.Pair, tag, q.LDID) {
 			d.Wait = true
-			s.waitScratch = append(s.waitScratch, pred.Pair)
+			s.waitScratch = append(s.waitScratch, pred.Pair) //lint:alloc-ok reusable scratch, growth amortized across queries
 		} else {
-			s.readyScratch = append(s.readyScratch, pred.Pair)
+			s.readyScratch = append(s.readyScratch, pred.Pair) //lint:alloc-ok reusable scratch, growth amortized across queries
 		}
 	}
 	if len(s.waitScratch) > 0 {
@@ -240,6 +242,8 @@ type StoreDecision struct {
 // matching prediction entry it computes the instance number of the load to
 // synchronize (store instance + dependence distance) and performs the signal
 // in the MDST.
+//
+//memdep:hotpath
 func (s *System) StoreIssue(q StoreQuery) StoreDecision {
 	s.stats.StoreQueries++
 	s.signalScratch = s.signalScratch[:0]
@@ -257,7 +261,7 @@ func (s *System) StoreIssue(q StoreQuery) StoreDecision {
 			tag = q.Instance + pred.Dist
 		}
 		ldid, released := s.mdst.Signal(pred.Pair, tag, q.STID)
-		s.signalScratch = append(s.signalScratch, pred.Pair)
+		s.signalScratch = append(s.signalScratch, pred.Pair) //lint:alloc-ok reusable scratch, growth amortized across queries
 		if released {
 			// A load released by one signal may still be waiting for other
 			// predicted dependences (section 4.4.4); report it only when no
@@ -267,7 +271,7 @@ func (s *System) StoreIssue(q StoreQuery) StoreDecision {
 				if s.onRelease != nil {
 					s.onRelease(ldid)
 				} else {
-					d.ReleasedLoads = append(d.ReleasedLoads, ldid)
+					d.ReleasedLoads = append(d.ReleasedLoads, ldid) //lint:alloc-ok reusable scratch, growth amortized across queries
 				}
 			}
 		}

@@ -220,7 +220,11 @@ func (p PredictionBreakdown) Percent(predicted, actual int) float64 {
 	return 100 * float64(p[predicted][actual]) / float64(t)
 }
 
-// Result summarises one simulation run.
+// Result summarises one simulation run.  Results escape into the engine's
+// memoization cache and outlive the run that produced them: nothing stored
+// in one may alias the Simulator arena's backing storage.
+//
+//memdep:escapes
 type Result struct {
 	// Benchmark is the work item name.
 	Benchmark string

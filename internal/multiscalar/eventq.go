@@ -14,6 +14,8 @@ package multiscalar
 // wake/committed arrays and discards stale ones as they surface.  All three
 // backing slices are arena-owned and reused across runs, so steady-state
 // operation never allocates.
+//
+//memdep:soa
 type eventQueue struct {
 	cy  []int64 // heap-ordered wake cycles
 	id  []int32 // task of each heap slot, parallel to cy
@@ -21,11 +23,13 @@ type eventQueue struct {
 }
 
 // reset empties the queue and sizes the task index, keeping backing storage.
+//
+//memdep:hotpath
 func (q *eventQueue) reset(tasks int) {
 	q.cy = q.cy[:0]
 	q.id = q.id[:0]
 	if cap(q.pos) < tasks {
-		q.pos = make([]int32, tasks)
+		q.pos = make([]int32, tasks) //lint:alloc-ok task index grows to the largest window once, then reused
 	}
 	q.pos = q.pos[:tasks]
 	for i := range q.pos {
@@ -34,12 +38,14 @@ func (q *eventQueue) reset(tasks int) {
 }
 
 // set records (or updates) the wake cycle of a task.
+//
+//memdep:hotpath
 func (q *eventQueue) set(c int64, task int32) {
 	i := int(q.pos[task])
 	if i < 0 {
 		i = len(q.cy)
-		q.cy = append(q.cy, c)
-		q.id = append(q.id, task)
+		q.cy = append(q.cy, c)    //lint:alloc-ok pooled heap storage, bounded by in-flight tasks
+		q.id = append(q.id, task) //lint:alloc-ok pooled heap storage, bounded by in-flight tasks
 		q.pos[task] = int32(i)
 		q.up(i)
 		return
@@ -54,6 +60,8 @@ func (q *eventQueue) set(c int64, task int32) {
 }
 
 // pop removes the minimum entry.
+//
+//memdep:hotpath
 func (q *eventQueue) pop() {
 	last := len(q.cy) - 1
 	q.pos[q.id[0]] = -1
@@ -67,6 +75,7 @@ func (q *eventQueue) pop() {
 	}
 }
 
+//memdep:hotpath
 func (q *eventQueue) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -78,6 +87,7 @@ func (q *eventQueue) up(i int) {
 	}
 }
 
+//memdep:hotpath
 func (q *eventQueue) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
@@ -96,6 +106,7 @@ func (q *eventQueue) down(i int) {
 	}
 }
 
+//memdep:hotpath
 func (q *eventQueue) swap(i, j int) {
 	q.cy[i], q.cy[j] = q.cy[j], q.cy[i]
 	q.id[i], q.id[j] = q.id[j], q.id[i]

@@ -34,12 +34,17 @@ const (
 	waitSignal                   // wait for an MDST signal (SYNC/ESYNC)
 )
 
+// waitState records why a task's next instruction is stalled.  It is
+// embedded in every execTask, so its layout is part of the per-task working
+// set; the flag bytes trail the word-aligned fields to avoid padding.
+//
+//memdep:soa
 type waitState struct {
-	active   bool
 	kind     waitKind
 	since    int64
 	ldid     int64
 	producer prodRef
+	active   bool
 	signaled bool
 }
 
@@ -51,6 +56,8 @@ type waitState struct {
 // they replace.  The predicted wait pairs are stored as an (offset, length)
 // window into the simulator's shared pairBuf arena rather than a per-record
 // slice, which removes the last per-dispatch allocation from the hot path.
+//
+//memdep:soa
 type loadRecord struct {
 	seen       bool // the load has reached issue at least once this attempt
 	predicted  bool
@@ -67,6 +74,8 @@ type loadRecord struct {
 // the wake cycle and the committed flag -- live in dense structure-of-arrays
 // slices on the sim (sim.wake, sim.committed) instead, so the skip checks
 // walk two small arrays rather than striding across task structs.
+//
+//memdep:soa
 type execTask struct {
 	rec  *taskRec
 	unit int
@@ -150,13 +159,15 @@ type sim struct {
 	// window.  It only grows within a run (windows of squashed attempts
 	// leak until reset -- bounded by the number of load queries, and far
 	// cheaper than per-record slices); reset truncates it to zero.
+	//
+	//memdep:arena
 	pairBuf []memdep.PairKey
 
 	// Flat backing arrays for the per-task done/loadInfo slices and the FU
 	// pools, retained across runs.
-	doneAll []int64
-	loadAll []loadRecord
-	fuAll   []int64
+	doneAll []int64      //memdep:arena
+	loadAll []loadRecord //memdep:arena
+	fuAll   []int64      //memdep:arena
 
 	arbBypasses uint64
 	res         Result
@@ -171,6 +182,8 @@ func Simulate(w *WorkItem, cfg Config) (Result, error) {
 // post offers a cycle at which a currently stalled condition resolves by the
 // passage of time alone; run() jumps to the earliest such cycle when a
 // scheduling pass makes no progress.
+//
+//memdep:hotpath
 func (s *sim) post(cycle int64) {
 	if cycle > s.cycle && cycle < s.nextEvent {
 		s.nextEvent = cycle
@@ -180,6 +193,8 @@ func (s *sim) post(cycle int64) {
 // setWake caches a task's timed wake cycle and, in the event-driven core,
 // records it in the wake heap so the jump-target peek sees it.  (The stepped
 // core never reads wake state, so the heap is left untouched there.)
+//
+//memdep:hotpath
 func (s *sim) setWake(t *execTask, cycle int64) {
 	s.wake[t.rec.id] = cycle
 	if !s.stepped {
@@ -190,6 +205,8 @@ func (s *sim) setWake(t *execTask, cycle int64) {
 // nextWake returns the earliest still-valid wake event.  Entries whose task
 // has committed, or whose cycle no longer matches the task's current wake
 // (the stall was superseded or cleared), are discarded as they surface.
+//
+//memdep:hotpath
 func (s *sim) nextWake() (int64, bool) {
 	q := &s.events
 	for len(q.cy) > 0 {
@@ -324,6 +341,8 @@ func (s *sim) resetExecState(t *execTask, start int64) {
 }
 
 // tryCommit retires the head task if it has finished (one commit per cycle).
+//
+//memdep:hotpath
 func (s *sim) tryCommit() {
 	if s.head >= len(s.tasks) {
 		return
@@ -344,6 +363,7 @@ func (s *sim) tryCommit() {
 	}
 }
 
+//memdep:hotpath
 func (s *sim) commitTask(t *execTask) {
 	s.committed[t.rec.id] = true
 	s.res.Tasks++
@@ -380,6 +400,8 @@ func (s *sim) commitTask(t *execTask) {
 // loadPairs resolves a load record's predicted-pair window in the pairBuf
 // arena.  The slice aliases arena storage: it is valid for immediate reads
 // only and must never be retained.
+//
+//memdep:hotpath
 func (s *sim) loadPairs(info *loadRecord) []memdep.PairKey {
 	return s.pairBuf[info.pairsOff : info.pairsOff+info.pairsLen]
 }
@@ -399,6 +421,8 @@ func (s *sim) ringLatency(prodTask, consTask int) int64 {
 // operandReady computes the earliest cycle at which the instruction's
 // register operands are available.  ok is false when a producer has not
 // executed yet.
+//
+//memdep:hotpath
 func (s *sim) operandReady(t *execTask, r *dynRec) (int64, bool) {
 	ready := t.startAt
 	for i := 0; i < r.nSrc; i++ {
@@ -472,6 +496,8 @@ func (s *sim) beginWait(t *execTask, w waitState) {
 // task) stalls.  Wait states resolve only through the actions of other tasks
 // (store issue, MDST signal, commit), so a stalled load posts no timed event;
 // the enabling action itself schedules the re-evaluation.
+//
+//memdep:hotpath
 func (s *sim) loadMayIssue(t *execTask, r *dynRec, instIdx int) bool {
 	info := &t.loadInfo[r.loadOrd]
 	if !info.seen {
@@ -537,7 +563,7 @@ func (s *sim) loadMayIssue(t *execTask, r *dynRec, instIdx int) bool {
 			// into a fresh window of the pairBuf arena.
 			info.pairsOff = int32(len(s.pairBuf))
 			info.pairsLen = int32(len(d.WaitPairs))
-			s.pairBuf = append(s.pairBuf, d.WaitPairs...)
+			s.pairBuf = append(s.pairBuf, d.WaitPairs...) //lint:alloc-ok pairBuf arena growth, amortized across runs
 			s.changed = true
 			if !d.Wait {
 				return true
@@ -603,6 +629,8 @@ func (s *sim) wakeLoad(ldid int64) {
 
 // acquireFU reserves a functional unit of the class at the given cycle,
 // returning false when all instances are busy.
+//
+//memdep:hotpath
 func (s *sim) acquireFU(t *execTask, class isa.Class, op isa.Op, cycle int64) bool {
 	insts := t.fuNext[class]
 	for i := range insts {
@@ -619,6 +647,8 @@ func (s *sim) acquireFU(t *execTask, class isa.Class, op isa.Op, cycle int64) bo
 }
 
 // fuFreeAt returns the earliest cycle at which a unit of the class frees up.
+//
+//memdep:hotpath
 func (s *sim) fuFreeAt(t *execTask, class isa.Class) int64 {
 	insts := t.fuNext[class]
 	free := insts[0]
@@ -634,6 +664,8 @@ func (s *sim) fuFreeAt(t *execTask, class isa.Class) int64 {
 // early return either marks progress (s.changed) or caches the cycle at which
 // the blocking condition resolves via setWake, so the event-driven core knows
 // when the task next becomes actionable and skips it until then.
+//
+//memdep:hotpath
 func (s *sim) advance(t *execTask) {
 	s.wake[t.rec.id] = 0
 	if s.cycle < t.startAt {
@@ -715,6 +747,8 @@ func (s *sim) advance(t *execTask) {
 }
 
 // arbLoad records the load in the address resolution buffer.
+//
+//memdep:hotpath
 func (s *sim) arbLoad(t *execTask, r *dynRec) bool {
 	ok := s.arb.Load(r.addr, uint64(t.rec.id), r.pc)
 	if !ok {
@@ -725,6 +759,8 @@ func (s *sim) arbLoad(t *execTask, r *dynRec) bool {
 
 // handleStore performs the store-side dependence work: ARB violation
 // detection (and the resulting squash) and MDST signalling.
+//
+//memdep:hotpath
 func (s *sim) handleStore(t *execTask, r *dynRec, instIdx int) {
 	v, violated, ok := s.arb.Store(r.addr, uint64(t.rec.id))
 	if !ok {

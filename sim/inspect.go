@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"maps"
 
 	"memdep/internal/engine"
 	"memdep/internal/program"
@@ -153,7 +154,7 @@ func (s *Session) TaskSizes(ctx context.Context, req TraceRequest) ([]TaskSizeBu
 	for i, b := range taskSizeBuckets {
 		hist[i].Label = b.label
 	}
-	for _, n := range sizes {
+	for _, n := range sizes { //lint:deterministic commutative bucket increments, keys unused
 		for i, b := range taskSizeBuckets {
 			if n <= b.max {
 				hist[i].Tasks++
@@ -264,9 +265,7 @@ func convertWindowResults(results []window.Result, prog *program.Program) []Wind
 		}
 		if len(r.DDCMissRate) > 0 {
 			rates := make(map[int]float64, len(r.DDCMissRate))
-			for size, rate := range r.DDCMissRate {
-				rates[size] = rate
-			}
+			maps.Copy(rates, r.DDCMissRate)
 			out[i].DDCMissRate = rates
 		}
 	}

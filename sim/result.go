@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"maps"
 
 	"memdep/internal/memdep"
 	"memdep/internal/multiscalar"
@@ -178,9 +179,7 @@ func newResult(req Request, res multiscalar.Result, item *multiscalar.WorkItem, 
 	}
 	if len(res.DDCMissRate) > 0 {
 		out.DDCMissRate = make(map[int]float64, len(res.DDCMissRate))
-		for size, rate := range res.DDCMissRate {
-			out.DDCMissRate[size] = rate
-		}
+		maps.Copy(out.DDCMissRate, res.DDCMissRate)
 	}
 	out.MisspecPairs = annotatePairs(res.MisspecPairs, prog)
 	return out

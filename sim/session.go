@@ -36,7 +36,10 @@ func WithDefaults(req Request) Option {
 	return func(s *Session) { s.defaults = req }
 }
 
-// NewSession creates a session with a fresh engine and cache.
+// NewSession creates a session with a fresh engine and cache.  Construction
+// only applies the option closures; the context belongs to Run.
+//
+//lint:noctx constructor, applies bounded option list
 func NewSession(opts ...Option) *Session {
 	s := &Session{}
 	for _, opt := range opts {
