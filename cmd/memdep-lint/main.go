@@ -1,8 +1,9 @@
 // Memdep-lint runs the repo's custom static-analysis suite
-// (internal/analysis): maporder, arenaescape, hotalloc, ctxflow and
-// fieldalign -- the machine-checked forms of the determinism,
-// arena-ownership, hot-path-allocation and cancellation invariants DESIGN.md
-// documents.
+// (internal/analysis): arenaescape, ctxflow, fieldalign, guardedby,
+// hotalloc, maporder, poollifecycle and resetcomplete -- the machine-checked
+// forms of the determinism, arena-ownership, hot-path-allocation,
+// cancellation, reset-completeness, pool-lifecycle and lock-discipline
+// invariants DESIGN.md documents.
 //
 // It has two entry points:
 //
@@ -11,14 +12,27 @@
 //
 // Standalone mode forwards its arguments (package patterns and analyzer
 // flags such as -maporder.pkgs=...) to go vet verbatim and exits with vet's
-// status, so both entry points run the identical modular analysis.
+// status, so both entry points run the identical modular analysis.  Two
+// standalone-only flags post-process the run:
+//
+//	-json   emit the diagnostics as a JSON object keyed by package and
+//	        analyzer (the vet JSON tree, suggested fixes included) on stdout
+//	-fix    apply every suggested fix (fieldalign reorders, maporder sorted-
+//	        key rewrites) to the source files and report what changed
+//
+// In unitchecker mode the tool only ever reports: fixes are applied by the
+// standalone driver, never behind go vet's back.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"go/format"
 	"os"
 	"os/exec"
+	"sort"
 	"strings"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
@@ -36,23 +50,233 @@ func main() {
 		}
 	}
 
+	var fix, jsonOut bool
+	var fwd []string
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-fix", "--fix":
+			fix = true
+		case "-json", "--json":
+			jsonOut = true
+		default:
+			fwd = append(fwd, arg)
+		}
+	}
+	if len(fwd) == 0 {
+		fwd = []string{"./..."}
+	}
+
 	exe, err := os.Executable()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "memdep-lint: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
-	args := os.Args[1:]
-	if len(args) == 0 {
-		args = []string{"./..."}
+
+	if !fix && !jsonOut {
+		// Plain gating mode: stream vet's human-readable output through.
+		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, fwd...)...)
+		cmd.Stdout, cmd.Stderr, cmd.Stdin = os.Stdout, os.Stderr, os.Stdin
+		exitWith(cmd.Run(), "running go vet")
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
-	cmd.Stdout, cmd.Stderr, cmd.Stdin = os.Stdout, os.Stderr, os.Stdin
+
+	// -json and -fix both need the machine-readable tree.  go vet -json
+	// prints it on stderr (interleaved with "# pkg" progress lines) and
+	// exits 0 even when there are diagnostics; a nonzero status therefore
+	// means a build or driver error, which we surface verbatim.
+	cmd := exec.Command("go", append([]string{"vet", "-json", "-vettool=" + exe}, fwd...)...)
+	var out bytes.Buffer
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = &out
 	if err := cmd.Run(); err != nil {
+		os.Stderr.Write(out.Bytes())
 		var exit *exec.ExitError
-		if errors.As(err, &exit) {
-			os.Exit(exit.ExitCode())
+		if !errors.As(err, &exit) {
+			fatalf("running go vet -json: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "memdep-lint: running go vet: %v\n", err)
+		os.Exit(exit.ExitCode())
+	}
+
+	tree, err := parseTree(out.Bytes())
+	if err != nil {
+		fatalf("parsing go vet -json output: %v", err)
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(tree); err != nil {
+			fatalf("encoding JSON: %v", err)
+		}
+	}
+	if fix {
+		applyFixes(tree)
+	}
+	if jsonOut && !fix && len(tree) > 0 {
+		// Mirror plain mode's exit status so CI can gate on the same command
+		// that produces the artifact.
 		os.Exit(1)
 	}
+}
+
+// The vet JSON tree: package ID -> analyzer -> diagnostics (or an error
+// object, which unmarshals to zero diagnostics and is dropped).
+type tree map[string]map[string][]jsonDiagnostic
+
+type jsonDiagnostic struct {
+	Category       string    `json:"category,omitempty"`
+	Posn           string    `json:"posn"`
+	Message        string    `json:"message"`
+	SuggestedFixes []jsonFix `json:"suggested_fixes,omitempty"`
+}
+
+type jsonFix struct {
+	Message string     `json:"message"`
+	Edits   []jsonEdit `json:"edits"`
+}
+
+type jsonEdit struct {
+	Filename string `json:"filename"`
+	Start    int    `json:"start"` // zero-based byte offsets, half-open
+	End      int    `json:"end"`
+	New      string `json:"new"`
+}
+
+// parseTree merges the stream of per-package JSON objects (separated by
+// "# pkg" comment lines) that go vet -json emits into one tree.
+func parseTree(raw []byte) (tree, error) {
+	merged := make(tree)
+	dec := json.NewDecoder(bytes.NewReader(stripComments(raw)))
+	for dec.More() {
+		var t map[string]map[string]json.RawMessage
+		if err := dec.Decode(&t); err != nil {
+			return nil, err
+		}
+		for pkg, byAnalyzer := range t {
+			for name, msg := range byAnalyzer {
+				var diags []jsonDiagnostic
+				if err := json.Unmarshal(msg, &diags); err != nil {
+					continue // a {"error": ...} leaf, not a diagnostic list
+				}
+				if len(diags) == 0 {
+					continue
+				}
+				if merged[pkg] == nil {
+					merged[pkg] = make(map[string][]jsonDiagnostic)
+				}
+				merged[pkg][name] = append(merged[pkg][name], diags...)
+			}
+		}
+	}
+	return merged, nil
+}
+
+func stripComments(raw []byte) []byte {
+	var out bytes.Buffer
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("#")) {
+			continue
+		}
+		out.Write(line)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}
+
+// applyFixes gathers every suggested edit in the tree, deduplicates and
+// applies them file by file (rejecting overlaps), gofmts the result and
+// rewrites the sources in place.
+func applyFixes(t tree) {
+	type editKey struct {
+		start, end int
+		text       string
+	}
+	byFile := make(map[string][]jsonEdit)
+	seen := make(map[string]map[editKey]bool)
+	fixes := 0
+	for _, byAnalyzer := range t {
+		for _, diags := range byAnalyzer {
+			for _, d := range diags {
+				for _, f := range d.SuggestedFixes {
+					fixes++
+					for _, e := range f.Edits {
+						k := editKey{e.Start, e.End, e.New}
+						if seen[e.Filename] == nil {
+							seen[e.Filename] = make(map[editKey]bool)
+						}
+						if seen[e.Filename][k] {
+							continue // e.g. two fixes adding the same import
+						}
+						seen[e.Filename][k] = true
+						byFile[e.Filename] = append(byFile[e.Filename], e)
+					}
+				}
+			}
+		}
+	}
+	if fixes == 0 {
+		fmt.Println("memdep-lint -fix: no suggested fixes")
+		return
+	}
+
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, filename := range files {
+		edits := byFile[filename]
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		// Apply bottom-up so earlier offsets stay valid.
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start > edits[j].Start
+			}
+			return edits[i].End > edits[j].End
+		})
+		applied := 0
+		prevStart := len(src) + 1
+		for _, e := range edits {
+			if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+				fatalf("%s: suggested edit out of range [%d,%d)", filename, e.Start, e.End)
+			}
+			if e.End > prevStart {
+				fmt.Fprintf(os.Stderr, "memdep-lint -fix: %s: skipping edit at [%d,%d) overlapping a later one\n", filename, e.Start, e.End)
+				continue
+			}
+			var next []byte
+			next = append(next, src[:e.Start]...)
+			next = append(next, e.New...)
+			next = append(next, src[e.End:]...)
+			src = next
+			prevStart = e.Start
+			applied++
+		}
+		if formatted, err := format.Source(src); err == nil {
+			src = formatted
+		} else {
+			fmt.Fprintf(os.Stderr, "memdep-lint -fix: %s: result does not gofmt (%v); writing unformatted\n", filename, err)
+		}
+		if err := os.WriteFile(filename, src, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("memdep-lint -fix: %s: applied %d edit(s)\n", filename, applied)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "memdep-lint: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func exitWith(err error, context string) {
+	if err == nil {
+		os.Exit(0)
+	}
+	var exit *exec.ExitError
+	if errors.As(err, &exit) {
+		os.Exit(exit.ExitCode())
+	}
+	fatalf("%s: %v", context, err)
 }

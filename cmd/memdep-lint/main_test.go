@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -19,19 +20,24 @@ func buildLint(t *testing.T) string {
 	return bin
 }
 
+func runIn(t *testing.T, dir, bin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	// The testdata modules have no vendor directory; make sure inherited
+	// flags cannot force vendor (or any other) mode onto them.
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
 func runInBadmod(t *testing.T, bin string, args ...string) (string, error) {
 	t.Helper()
 	dir, err := filepath.Abs(filepath.Join("testdata", "badmod"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd := exec.Command(bin, args...)
-	cmd.Dir = dir
-	// The bad module has no vendor directory; make sure inherited flags
-	// cannot force vendor (or any other) mode onto it.
-	cmd.Env = append(os.Environ(), "GOFLAGS=")
-	out, err := cmd.CombinedOutput()
-	return string(out), err
+	return runIn(t, dir, bin, args...)
 }
 
 // TestBadModuleFails runs the multichecker over the known-bad testdata module
@@ -49,6 +55,15 @@ func TestBadModuleFails(t *testing.T) {
 		"make([]int64) allocates",
 		"map literal allocates",
 		"//memdep:soa struct Padded occupies 24 bytes",
+		// resetcomplete: both stale fields, individually.
+		"field hits of //memdep:resettable type Stale is never cleared",
+		"field tags of //memdep:resettable type Stale is never cleared",
+		// poollifecycle: the leaked Get and the double Put.
+		"v obtained from the pool is not returned to it on every return path",
+		"v may be returned to the pool twice",
+		// guardedby: both unguarded accesses.
+		"r.vals is accessed without holding r.mu",
+		"r.n is accessed without holding r.mu",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output does not mention %q:\n%s", want, out)
@@ -67,5 +82,103 @@ func TestAnalyzerFlagsForwarded(t *testing.T) {
 	}
 	if !strings.Contains(out, "range over map m has nondeterministic iteration order") {
 		t.Errorf("output does not mention the maporder diagnostic:\n%s", out)
+	}
+}
+
+// TestJSONOutput pins the -json mode: the diagnostics come out as one JSON
+// tree keyed by package and analyzer, suggested fixes included, and the exit
+// status still gates.
+func TestJSONOutput(t *testing.T) {
+	bin := buildLint(t)
+	out, err := runInBadmod(t, bin, "-json", "./...")
+	if err == nil {
+		t.Fatalf("memdep-lint -json exited 0 on the bad module; output:\n%s", out)
+	}
+	var tree map[string]map[string][]struct {
+		Posn           string `json:"posn"`
+		Message        string `json:"message"`
+		SuggestedFixes []struct {
+			Message string `json:"message"`
+			Edits   []struct {
+				Filename string `json:"filename"`
+				Start    int    `json:"start"`
+				End      int    `json:"end"`
+				New      string `json:"new"`
+			} `json:"edits"`
+		} `json:"suggested_fixes"`
+	}
+	if err := json.Unmarshal([]byte(out), &tree); err != nil {
+		t.Fatalf("-json output is not a JSON tree: %v\n%s", err, out)
+	}
+	byAnalyzer := tree["badmod"]
+	if byAnalyzer == nil {
+		t.Fatalf("-json output lacks the badmod package:\n%s", out)
+	}
+	for _, analyzer := range []string{"fieldalign", "hotalloc", "resetcomplete", "poollifecycle", "guardedby"} {
+		if len(byAnalyzer[analyzer]) == 0 {
+			t.Errorf("-json output lacks %s diagnostics:\n%s", analyzer, out)
+		}
+	}
+	fixes := 0
+	for _, d := range byAnalyzer["fieldalign"] {
+		fixes += len(d.SuggestedFixes)
+	}
+	if fixes == 0 {
+		t.Errorf("-json output carries no fieldalign suggested fix:\n%s", out)
+	}
+}
+
+// TestFixRoundTrip copies the fixable module aside, applies -fix, and
+// asserts the rewritten sources re-lint clean and stay gofmt'd.
+func TestFixRoundTrip(t *testing.T) {
+	bin := buildLint(t)
+	dir := t.TempDir()
+	for _, name := range []string{"go.mod", "fix.go"} {
+		data, err := os.ReadFile(filepath.Join("testdata", "fixmod", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out, err := runIn(t, dir, bin, "-maporder.pkgs=fixmod", "./...")
+	if err == nil {
+		t.Fatalf("fixmod lints clean before the fix; output:\n%s", out)
+	}
+
+	out, err = runIn(t, dir, bin, "-fix", "-maporder.pkgs=fixmod", "./...")
+	if err != nil {
+		t.Fatalf("memdep-lint -fix failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "applied") {
+		t.Fatalf("-fix did not report applying edits:\n%s", out)
+	}
+
+	fixed, err := os.ReadFile(filepath.Join(dir, "fix.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"slices.Sorted(maps.Keys(m))",
+		"B int64",
+	} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed source does not contain %q:\n%s", want, fixed)
+		}
+	}
+
+	out, err = runIn(t, dir, bin, "-maporder.pkgs=fixmod", "./...")
+	if err != nil {
+		t.Errorf("fixed module does not re-lint clean: %v\n%s\nsource:\n%s", err, out, fixed)
+	}
+
+	fmtOut, err := exec.Command("gofmt", "-l", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("gofmt: %v\n%s", err, fmtOut)
+	}
+	if strings.TrimSpace(string(fmtOut)) != "" {
+		t.Errorf("-fix left non-gofmt'd files: %s", fmtOut)
 	}
 }

@@ -3,6 +3,8 @@
 // the diagnostics and the nonzero exit.
 package badmod
 
+import "sync"
+
 //memdep:hotpath
 func Hot(n int) []int64 {
 	out := make([]int64, n)
@@ -26,4 +28,52 @@ func Sum(m map[string]int) int {
 		total += v
 	}
 	return total
+}
+
+// Stale is missing two fields from its Reset: resetcomplete flags each.
+//
+//memdep:resettable
+type Stale struct {
+	entries []int
+	clock   uint64
+	hits    uint64
+	tags    map[int]int
+}
+
+func (s *Stale) Reset() {
+	s.entries = s.entries[:0]
+	s.clock = 0
+}
+
+var pool = sync.Pool{New: func() interface{} { return new(int) }}
+
+// Leak loses the pooled value on the early return and hands it back twice on
+// the fallthrough: two poollifecycle diagnostics.
+func Leak(flag bool) int {
+	v := pool.Get().(*int)
+	if flag {
+		return 0
+	}
+	pool.Put(v)
+	pool.Put(v)
+	return 1
+}
+
+// Registry carries guarded fields that Unlocked and HalfLocked touch without
+// the mutex: two guardedby diagnostics.
+type Registry struct {
+	mu sync.Mutex
+	//memdep:guardedby mu
+	vals map[string]int
+	n    int //memdep:guardedby mu
+}
+
+func Unlocked(r *Registry) int {
+	return r.vals["a"]
+}
+
+func HalfLocked(r *Registry) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.n++
 }

@@ -1,0 +1,28 @@
+// Package fixmod violates only the auto-fixable invariants; the memdep-lint
+// main test copies it aside, runs -fix over the copy and asserts the result
+// re-lints clean and stays gofmt'd.
+package fixmod
+
+import (
+	"fmt"
+)
+
+// Padded wastes a full word to padding; fieldalign suggests the reorder.
+//
+//memdep:soa
+type Padded struct {
+	// A leads the struct for no reason.
+	A bool
+	B int64
+	C bool // trailing comment rides along
+}
+
+// Keys ranges a map in key-only form; maporder rewrites it to iterate the
+// sorted keys (splicing slices and maps into the import block above).
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return out
+}

@@ -61,15 +61,25 @@ func (idx *Index) Has(pos token.Pos, name string) bool {
 // HasMarker reports whether the comment group carries the named marker
 // directive (e.g. "memdep:hotpath").
 func HasMarker(cg *ast.CommentGroup, name string) bool {
+	_, ok := MarkerArg(cg, name)
+	return ok
+}
+
+// MarkerArg returns the argument text of the named marker directive in the
+// comment group -- everything after the directive name, trimmed -- and whether
+// the marker is present at all.  //memdep:guardedby mu yields ("mu", true);
+// an argument-less marker yields ("", true).
+func MarkerArg(cg *ast.CommentGroup, name string) (string, bool) {
 	if cg == nil {
-		return false
+		return "", false
 	}
 	for _, c := range cg.List {
 		if got, ok := directiveName(c.Text); ok && got == name {
-			return true
+			rest := strings.TrimPrefix(c.Text, "//"+got)
+			return strings.TrimSpace(rest), true
 		}
 	}
-	return false
+	return "", false
 }
 
 // directiveName extracts the directive name from a raw comment: the text

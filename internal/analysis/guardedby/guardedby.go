@@ -1,0 +1,257 @@
+// Package guardedby defines an analyzer enforcing lock discipline on fields
+// annotated //memdep:guardedby <mutex>.
+//
+// The annotation lives on a struct field and names a sibling mutex field; the
+// analyzer then proves, on the control-flow graph of every function in the
+// package, that each access to the guarded field happens while that mutex is
+// held on every path reaching the access.  Lock() and RLock() acquire,
+// Unlock() and RUnlock() release, `defer mu.Unlock()` keeps the mutex held
+// through to the returns, and the held-set is intersected at join points, so
+// a lock taken on only one arm of a branch does not count after the merge.
+//
+// The analysis is intraprocedural and syntactic about identity: the mutex of
+// the access `e.sims` is the expression `e.mu` -- same base path, annotated
+// field name.  A helper that is only ever called with the lock held declares
+// that contract with //memdep:locked <mutex> on the function, which seeds the
+// held-set with the receiver's mutex.  Accesses that are safe for reasons the
+// analysis cannot see (construction before publication, test-only
+// single-goroutine use) carry //lint:unguarded <why> on the access line.
+// Function literals are analyzed as separate functions and inherit nothing.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"memdep/internal/analysis/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "guardedby",
+	Doc:      "checks that fields annotated //memdep:guardedby <mu> are only accessed with the named mutex held",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := directive.New(pass.Fset, pass.Files)
+
+	guarded := collectGuarded(pass, ins)
+	if len(guarded) == 0 {
+		return nil, nil
+	}
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		held := make(map[string]bool)
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+			// //memdep:locked mu on a helper seeds the held-set with the
+			// receiver's mutex: the contract is "only called locked".
+			if arg, ok := directive.MarkerArg(n.Doc, "memdep:locked"); ok && arg != "" && n.Recv != nil && len(n.Recv.List) == 1 && len(n.Recv.List[0].Names) == 1 {
+				held[n.Recv.List[0].Names[0].Name+"."+arg] = true
+			}
+		case *ast.FuncLit:
+			body = n.Body
+		}
+		if body == nil {
+			return
+		}
+		if f := pass.Fset.File(body.Pos()); f != nil && strings.HasSuffix(f.Name(), "_test.go") {
+			return // single-goroutine test access needs no locking
+		}
+		checkFunc(pass, dirs, guarded, held, body)
+	})
+	return nil, nil
+}
+
+// collectGuarded maps each annotated field object to the name of the sibling
+// mutex field that guards it.
+func collectGuarded(pass *analysis.Pass, ins *inspector.Inspector) map[types.Object]string {
+	guarded := make(map[types.Object]string)
+	ins.Preorder([]ast.Node{(*ast.StructType)(nil)}, func(n ast.Node) {
+		st := n.(*ast.StructType)
+		for _, field := range st.Fields.List {
+			mu, ok := directive.MarkerArg(field.Doc, "memdep:guardedby")
+			if !ok {
+				mu, ok = directive.MarkerArg(field.Comment, "memdep:guardedby")
+			}
+			if !ok {
+				continue
+			}
+			if mu == "" {
+				pass.Reportf(field.Pos(), "//memdep:guardedby needs the name of the guarding mutex field")
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					guarded[obj] = mu
+				}
+			}
+		}
+	})
+	return guarded
+}
+
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k := range s { //lint:deterministic set copy, order-independent
+		c[k] = true
+	}
+	return c
+}
+
+// intersect drops keys absent from the other predecessor; a mutex counts as
+// held at a join only when it is held on every path into it.
+func (s lockSet) intersect(from lockSet) bool {
+	changed := false
+	for k := range s { //lint:deterministic set intersection, order-independent
+		if !from[k] {
+			delete(s, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func checkFunc(pass *analysis.Pass, dirs *directive.Index, guarded map[types.Object]string, entry lockSet, body *ast.BlockStmt) {
+	// Cheap pre-scan: most functions touch no guarded field.
+	touches := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil {
+				if _, ok := guarded[obj]; ok {
+					touches = true
+				}
+			}
+		}
+		return !touches
+	})
+	if !touches {
+		return
+	}
+
+	g := cfg.New(body, func(*ast.CallExpr) bool { return true })
+	in := make(map[*cfg.Block]lockSet)
+	in[g.Blocks[0]] = entry
+	work := []*cfg.Block{g.Blocks[0]}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		s := in[b].clone()
+		w := walker{pass: pass, guarded: guarded, held: s}
+		for _, n := range b.Nodes {
+			w.node(n)
+		}
+		for _, succ := range b.Succs {
+			if in[succ] == nil {
+				in[succ] = s.clone()
+				work = append(work, succ)
+			} else if in[succ].intersect(s) {
+				work = append(work, succ)
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		if in[b] == nil {
+			continue
+		}
+		w := walker{pass: pass, guarded: guarded, held: in[b].clone(), dirs: dirs, report: true}
+		for _, n := range b.Nodes {
+			w.node(n)
+		}
+	}
+}
+
+type walker struct {
+	pass    *analysis.Pass
+	guarded map[types.Object]string
+	held    lockSet
+	dirs    *directive.Index
+	report  bool
+}
+
+func (w *walker) node(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock runs at return, after every access in the
+			// body: the mutex stays held for checking purposes.
+			if key, op, ok := w.lockOp(n.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				_ = key
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if key, op, ok := w.lockOp(n); ok {
+				switch op {
+				case "Lock", "RLock":
+					w.held[key] = true
+				case "Unlock", "RUnlock":
+					delete(w.held, key)
+				}
+				return false
+			}
+			return true
+		case *ast.SelectorExpr:
+			w.access(n)
+			// Keep descending: the base expression may itself contain
+			// guarded accesses (e.g. e.calls[e.key].x).
+			return true
+		}
+		return true
+	})
+}
+
+// lockOp recognizes m.Lock / m.RLock / m.Unlock / m.RUnlock / m.TryLock for a
+// sync mutex m and returns the rendered mutex expression and operation name.
+// TryLock is conditional and deliberately unrecognized as an acquire.
+func (w *walker) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
+	fn, isFn := typeutil.Callee(w.pass.TypesInfo, call).(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), fn.Name(), true
+}
+
+// access checks one field selection against the held-set.
+func (w *walker) access(sel *ast.SelectorExpr) {
+	obj := w.pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	mu, ok := w.guarded[obj]
+	if !ok || !w.report {
+		return
+	}
+	key := types.ExprString(sel.X) + "." + mu
+	if w.held[key] {
+		return
+	}
+	if w.dirs.Has(sel.Sel.Pos(), "lint:unguarded") {
+		return
+	}
+	w.pass.Reportf(sel.Sel.Pos(), "%s is accessed without holding %s (guarded by //memdep:guardedby %s); lock it, mark the function //memdep:locked %s, or annotate the access with //lint:unguarded <why>", types.ExprString(sel), key, mu, mu)
+}

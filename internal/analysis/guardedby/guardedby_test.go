@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"memdep/internal/analysis/analyzertest"
+	"memdep/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analyzertest.Run(t, ".", guardedby.Analyzer, "a")
+}

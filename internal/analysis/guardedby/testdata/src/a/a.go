@@ -1,0 +1,94 @@
+package a
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+	//memdep:guardedby mu
+	entries map[string]int
+	count   int //memdep:guardedby mu
+	free    int // unguarded on purpose
+}
+
+// unlocked reads the guarded field with no lock at all.
+func unlocked(r *registry) int {
+	return r.entries["x"] // want `r\.entries is accessed without holding r\.mu`
+}
+
+// locked is the canonical pattern.
+func locked(r *registry) int {
+	r.mu.Lock()
+	n := r.entries["x"]
+	r.count++
+	r.mu.Unlock()
+	return n
+}
+
+// deferred holds the mutex through every return via defer.
+func deferred(r *registry, k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k == "" {
+		return 0
+	}
+	return r.entries[k]
+}
+
+// afterUnlock touches the field once the lock is gone.
+func afterUnlock(r *registry) int {
+	r.mu.Lock()
+	r.mu.Unlock()
+	return r.count // want `r\.count is accessed without holding r\.mu`
+}
+
+// branchLock acquires on only one arm, so the merged state is unlocked.
+func branchLock(r *registry, cond bool) int {
+	if cond {
+		r.mu.Lock()
+	}
+	n := r.entries["x"] // want `r\.entries is accessed without holding r\.mu`
+	if cond {
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// bothArms locks on every path into the access.
+func bothArms(r *registry, cond bool) int {
+	if cond {
+		r.mu.Lock()
+	} else {
+		r.mu.Lock()
+	}
+	n := r.count
+	r.mu.Unlock()
+	return n
+}
+
+// lockedHelper declares the caller-holds-the-lock contract.
+//
+//memdep:locked mu
+func (r *registry) lockedHelper() int {
+	return r.count + r.free
+}
+
+// wrongBase holds one instance's mutex while touching another instance.
+func wrongBase(a, b *registry) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.count // want `b\.count is accessed without holding b\.mu`
+}
+
+// construction publishes nothing yet; the justified escape applies.
+func construction() *registry {
+	r := &registry{entries: make(map[string]int)}
+	r.count = 1 //lint:unguarded not yet shared, constructor-local
+	return r
+}
+
+// missingArg exercises the malformed annotation diagnostic.
+type missingArg struct {
+	mu sync.Mutex
+	//memdep:guardedby
+	x int // want `//memdep:guardedby needs the name of the guarding mutex field`
+}

@@ -9,10 +9,18 @@
 // over a map is accepted only when the loop demonstrably collects the keys
 // (or values) into a slice that is later sorted in the same function, or when
 // it carries a //lint:deterministic justification on or above the loop.
+//
+// For the key-only form `for k := range m` over an ordered key type, the
+// diagnostic carries a suggested fix rewriting the loop to
+// `for _, k := range slices.Sorted(maps.Keys(m))` (importing slices and maps
+// when the file lacks them); memdep-lint -fix applies it.  The key/value form
+// has no mechanical rewrite and is reported without a fix.
 package maporder
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -69,10 +77,95 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if collectsThenSorts(pass, rs, stack) {
 			return true
 		}
-		pass.Reportf(rs.Pos(), "range over map %s has nondeterministic iteration order in result-producing code; sort the keys before use or annotate the loop with //lint:deterministic", types.ExprString(rs.X))
+		diag := analysis.Diagnostic{
+			Pos:     rs.Pos(),
+			Message: fmt.Sprintf("range over map %s has nondeterministic iteration order in result-producing code; sort the keys before use or annotate the loop with //lint:deterministic", types.ExprString(rs.X)),
+		}
+		if fix, ok := sortedKeysFix(pass, rs); ok {
+			diag.SuggestedFixes = []analysis.SuggestedFix{fix}
+		}
+		pass.Report(diag)
 		return true
 	})
 	return nil, nil
+}
+
+// sortedKeysFix rewrites the key-only range `for k := range m` into
+// `for _, k := range slices.Sorted(maps.Keys(m))`.  It applies only when the
+// key type is ordered (so slices.Sorted instantiates) and adds the slices and
+// maps imports when the file's import block lacks them.  The key/value form
+// would need the body rewritten to index the map, so it gets no fix.
+func sortedKeysFix(pass *analysis.Pass, rs *ast.RangeStmt) (analysis.SuggestedFix, bool) {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil || rs.Tok != token.DEFINE {
+		return analysis.SuggestedFix{}, false
+	}
+	m, ok := pass.TypesInfo.TypeOf(rs.X).Underlying().(*types.Map)
+	if !ok {
+		return analysis.SuggestedFix{}, false
+	}
+	basic, ok := m.Key().Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsOrdered == 0 {
+		return analysis.SuggestedFix{}, false
+	}
+	edits := []analysis.TextEdit{{
+		Pos:     rs.Key.Pos(),
+		End:     rs.X.End(),
+		NewText: []byte(fmt.Sprintf("_, %s := range slices.Sorted(maps.Keys(%s))", key.Name, types.ExprString(rs.X))),
+	}}
+	importEdits, ok := ensureImports(pass, rs.Pos(), "maps", "slices")
+	if !ok {
+		return analysis.SuggestedFix{}, false
+	}
+	return analysis.SuggestedFix{
+		Message:   "iterate over the sorted keys",
+		TextEdits: append(importEdits, edits...),
+	}, true
+}
+
+// ensureImports returns the text edits that add the named imports to the file
+// containing pos, skipping paths already imported.  It requires a grouped
+// import block to splice into; files without one forgo the fix.
+func ensureImports(pass *analysis.Pass, pos token.Pos, paths ...string) ([]analysis.TextEdit, bool) {
+	var file *ast.File
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return nil, false
+	}
+	have := make(map[string]bool)
+	for _, imp := range file.Imports {
+		have[strings.Trim(imp.Path.Value, `"`)] = true
+	}
+	var missing []string
+	for _, p := range paths {
+		if !have[p] {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil, true
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT || !gd.Lparen.IsValid() {
+			continue
+		}
+		var b strings.Builder
+		for _, p := range missing {
+			fmt.Fprintf(&b, "\t%q\n", p)
+		}
+		return []analysis.TextEdit{{
+			Pos:     gd.Rparen,
+			End:     gd.Rparen,
+			NewText: []byte(b.String()),
+		}}, true
+	}
+	return nil, false
 }
 
 func applies(path, pkgs string) bool {

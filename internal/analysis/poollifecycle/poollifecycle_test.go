@@ -1,0 +1,12 @@
+package poollifecycle_test
+
+import (
+	"testing"
+
+	"memdep/internal/analysis/analyzertest"
+	"memdep/internal/analysis/poollifecycle"
+)
+
+func TestPoolLifecycle(t *testing.T) {
+	analyzertest.Run(t, ".", poollifecycle.Analyzer, "a")
+}

@@ -1,0 +1,104 @@
+package a
+
+import "sync"
+
+var pool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+// leakOnOnePath forgets the Put on the early-return branch.
+func leakOnOnePath(n int) int {
+	buf := pool.Get().(*[]byte) // want `buf obtained from the pool is not returned to it on every return path`
+	if n < 0 {
+		return 0
+	}
+	m := len(*buf)
+	pool.Put(buf)
+	return m
+}
+
+// leakEverywhere never Puts at all.
+func leakEverywhere() *[]byte {
+	buf := pool.Get().(*[]byte) // want `buf obtained from the pool is not returned to it on every return path`
+	other := new([]byte)
+	_ = buf
+	return other
+}
+
+// useAfterPut touches the value after handing it back.
+func useAfterPut() int {
+	buf := pool.Get().(*[]byte)
+	pool.Put(buf)
+	return len(*buf) // want `buf is used after being returned to the pool`
+}
+
+// doublePut returns the same value twice.
+func doublePut(cond bool) {
+	buf := pool.Get().(*[]byte)
+	if cond {
+		pool.Put(buf)
+	}
+	pool.Put(buf) // want `buf may be returned to the pool twice`
+}
+
+// deferredOK discharges the obligation on every path with one defer.
+func deferredOK(n int) int {
+	buf := pool.Get().(*[]byte)
+	defer pool.Put(buf)
+	if n < 0 {
+		return 0
+	}
+	return len(*buf)
+}
+
+// straightLineOK puts before the single return.
+func straightLineOK() int {
+	buf := pool.Get().(*[]byte)
+	n := len(*buf)
+	pool.Put(buf)
+	return n
+}
+
+// panicPathOK carries no obligation into panic: sync.Pool tolerates losing
+// values, and the analyzer must not demand a Put before the panic.
+func panicPathOK(n int) int {
+	buf := pool.Get().(*[]byte)
+	if n < 0 {
+		panic("negative")
+	}
+	pool.Put(buf)
+	return n
+}
+
+// suppressed documents a lifecycle the analysis cannot follow.
+func suppressed(sink chan *[]byte) {
+	buf := pool.Get().(*[]byte) //lint:pool-ok ownership transfers to the receiver, which Puts it
+	sink <- buf
+}
+
+// notAPool uses a Get/Put pair on a type that merely looks like a pool; the
+// analyzer must key on sync.Pool, not on method names.
+type freelist struct{ items []*[]byte }
+
+func (f *freelist) Get() *[]byte {
+	if n := len(f.items); n > 0 {
+		v := f.items[n-1]
+		f.items = f.items[:n-1]
+		return v
+	}
+	return new([]byte)
+}
+
+func (f *freelist) Put(v *[]byte) { f.items = append(f.items, v) }
+
+func notAPool(f *freelist) *[]byte {
+	v := f.Get()
+	return v
+}
+
+// rebound hands the first value back, then reuses the variable for a fresh
+// Get whose leak is charged to the second site.
+func rebound() *[]byte {
+	buf := pool.Get().(*[]byte)
+	pool.Put(buf)
+	buf = pool.Get().(*[]byte) // want `buf obtained from the pool is not returned to it on every return path`
+	return buf
+}

@@ -1,0 +1,448 @@
+// Package resetcomplete defines an analyzer that checks the Reset methods of
+// types annotated //memdep:resettable for completeness.
+//
+// The arena-reuse discipline (DESIGN.md "Arena & SoA layout") makes "stale
+// state surviving a Reset" the most dangerous bug class in the repo: a field
+// added to a pooled predictor, cache or simulator arena but forgotten in its
+// Reset silently leaks one run's state into the next, and only a specific
+// config alternation on a reused arena ever exposes it.  This analyzer turns
+// that hazard into a diagnostic: for every marked type it verifies that the
+// type's Reset method (or unexported reset) mentions every field as a write
+// target -- directly, through an alias (s := &sm.s), through a helper method
+// on the same receiver, or via a sub-reset call (t.f.Reset(), clear(t.f),
+// delete(...), element writes in a range loop).  Fields that are genuinely
+// configuration-constant carry a //lint:reset-exempt justification on their
+// declaration.
+//
+// The check is any-path ("is the field ever a write target in the reset call
+// graph"), not all-paths: conditional clearing (rebuild-vs-reset arms) is the
+// normal idiom, and the bug class is the field that is never mentioned at
+// all.  When a field's struct type is defined in the same package and Reset
+// only writes it through an alias, the analyzer recurses and requires every
+// field of the inner struct to be covered -- this is what lets the Simulator
+// arena delegate the whole of its sim state through s := &sm.s.
+package resetcomplete
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"memdep/internal/analysis/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "resetcomplete",
+	Doc:      "checks that the Reset method of every //memdep:resettable type clears all fields not annotated //lint:reset-exempt",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// maxDepth bounds the interprocedural recursion through helper methods and
+// functions; reset call graphs are shallow, and the bound keeps pathological
+// cycles cheap even before the visited set cuts them.
+const maxDepth = 6
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := directive.New(pass.Fset, pass.Files)
+
+	// Index every method and function declared in the package: methods by
+	// (receiver base type, name) for sub-reset recursion, functions by object
+	// for helper recursion.
+	methods := make(map[*types.TypeName]map[string]*ast.FuncDecl)
+	funcs := make(map[types.Object]*ast.FuncDecl)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		if fd.Recv == nil {
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				funcs[obj] = fd
+			}
+			return
+		}
+		tn := recvTypeName(pass, fd)
+		if tn == nil {
+			return
+		}
+		m := methods[tn]
+		if m == nil {
+			m = make(map[string]*ast.FuncDecl)
+			methods[tn] = m
+		}
+		m[fd.Name.Name] = fd
+	})
+
+	ins.Preorder([]ast.Node{(*ast.GenDecl)(nil)}, func(n ast.Node) {
+		gd := n.(*ast.GenDecl)
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			doc := ts.Doc
+			if doc == nil && len(gd.Specs) == 1 {
+				doc = gd.Doc
+			}
+			if !directive.HasMarker(doc, "memdep:resettable") {
+				continue
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				pass.Reportf(ts.Name.Pos(), "//memdep:resettable type %s is not a struct", ts.Name.Name)
+				continue
+			}
+			reset := methods[tn]["Reset"]
+			if reset == nil {
+				reset = methods[tn]["reset"]
+			}
+			if reset == nil {
+				pass.Reportf(ts.Name.Pos(), "//memdep:resettable type %s has no Reset (or reset) method", ts.Name.Name)
+				continue
+			}
+			a := &analyzer{pass: pass, methods: methods, funcs: funcs, covered: make(map[string]bool), visited: make(map[visitKey]bool)}
+			a.analyzeFunc(reset, recvObject(pass, reset), "", 0)
+			a.checkStruct(dirs, tn.Name(), reset.Name.Name, st, "", nil)
+		}
+	})
+	return nil, nil
+}
+
+// recvTypeName resolves a method's receiver base type (pointer stripped) to
+// its package-level TypeName, or nil.
+func recvTypeName(pass *analysis.Pass, fd *ast.FuncDecl) *types.TypeName {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// recvObject returns the types.Object of a method's named receiver, or nil
+// for an anonymous receiver.
+func recvObject(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+type visitKey struct {
+	fn   *ast.FuncDecl
+	path string
+}
+
+type analyzer struct {
+	pass    *analysis.Pass
+	methods map[*types.TypeName]map[string]*ast.FuncDecl
+	funcs   map[types.Object]*ast.FuncDecl
+	covered map[string]bool
+	visited map[visitKey]bool
+}
+
+// record marks the path as written.  Writing an element (a ".[*]" segment)
+// also covers the container holding it: a range loop that clears every entry
+// resets the field that owns the entries.
+func (a *analyzer) record(path string) {
+	a.covered[path] = true
+	for {
+		i := strings.LastIndex(path, ".[*]")
+		if i < 0 {
+			return
+		}
+		path = path[:i]
+		a.covered[path] = true
+	}
+}
+
+// analyzeFunc walks one function with its receiver (or a parameter standing
+// in for it) bound to the given path prefix, collecting write targets.
+func (a *analyzer) analyzeFunc(fn *ast.FuncDecl, bound types.Object, prefix string, depth int) {
+	if fn == nil || bound == nil || depth > maxDepth {
+		return
+	}
+	k := visitKey{fn, prefix}
+	if a.visited[k] {
+		return
+	}
+	a.visited[k] = true
+	w := &walker{a: a, bindings: map[types.Object]string{bound: prefix}, depth: depth}
+	ast.Inspect(fn.Body, w.visit)
+}
+
+// walker tracks, inside one function, which local objects alias which
+// receiver-rooted paths.
+type walker struct {
+	a        *analyzer
+	bindings map[types.Object]string
+	depth    int
+}
+
+// resolve maps an expression to the receiver-rooted path it denotes, if any.
+// Index and slice expressions resolve to the element path (".[*]").
+func (w *walker) resolve(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := w.a.pass.TypesInfo.ObjectOf(e)
+		if obj == nil {
+			return "", false
+		}
+		p, ok := w.bindings[obj]
+		return p, ok
+	case *ast.SelectorExpr:
+		p, ok := w.resolve(e.X)
+		if !ok {
+			return "", false
+		}
+		if p == "" {
+			return e.Sel.Name, true
+		}
+		return p + "." + e.Sel.Name, true
+	case *ast.IndexExpr:
+		p, ok := w.resolve(e.X)
+		return p + ".[*]", ok
+	case *ast.SliceExpr:
+		p, ok := w.resolve(e.X)
+		return p + ".[*]", ok
+	case *ast.ParenExpr:
+		return w.resolve(e.X)
+	case *ast.StarExpr:
+		return w.resolve(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return w.resolve(e.X)
+		}
+	}
+	return "", false
+}
+
+// referenceLike reports whether values of the type share their underlying
+// storage when copied, so that writes through a copy count as writes through
+// the original.
+func referenceLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// resetish reports whether a method name announces that the call clears its
+// receiver.
+func resetish(name string) bool {
+	switch {
+	case name == "Reset" || name == "reset":
+		return true
+	case name == "Clear" || name == "clear":
+		return true
+	case strings.HasPrefix(name, "Reset") || strings.HasPrefix(name, "reset"):
+		return true
+	}
+	return false
+}
+
+func (w *walker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		// Closures run on their own schedule; writes inside them do not
+		// prove the reset path clears the field.
+		return false
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if p, ok := w.resolve(lhs); ok {
+				w.a.record(p)
+			}
+		}
+		// Alias creation: a fresh local bound to &recv.f (or to a
+		// reference-typed recv.f) forwards its writes to f.
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := w.a.pass.TypesInfo.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				if p, ok := w.resolve(n.Rhs[i]); ok {
+					if u, isAddr := n.Rhs[i].(*ast.UnaryExpr); (isAddr && u.Op == token.AND) || referenceLike(w.a.pass.TypesInfo.TypeOf(n.Rhs[i])) {
+						w.bindings[obj] = p
+						continue
+					}
+				}
+				// Reassignment severs a previous alias.
+				delete(w.bindings, obj)
+			}
+		}
+	case *ast.IncDecStmt:
+		if p, ok := w.resolve(n.X); ok {
+			w.a.record(p)
+		}
+	case *ast.RangeStmt:
+		if p, ok := w.resolve(n.X); ok {
+			if id, ok := n.Value.(*ast.Ident); ok && n.Tok == token.DEFINE {
+				if obj := w.a.pass.TypesInfo.ObjectOf(id); obj != nil {
+					w.bindings[obj] = p + ".[*]"
+				}
+			}
+		}
+	case *ast.CallExpr:
+		w.call(n)
+	}
+	return true
+}
+
+// call handles the covering call forms: clear/delete builtins, sub-reset
+// method calls, and recursion into same-package helpers.
+func (w *walker) call(call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := w.a.pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			if (b.Name() == "clear" || b.Name() == "delete") && len(call.Args) > 0 {
+				if p, ok := w.resolve(call.Args[0]); ok {
+					w.a.record(p)
+				}
+			}
+			return
+		}
+		// Same-package helper function: bind any parameter that receives an
+		// aliased path and recurse.
+		obj := w.a.pass.TypesInfo.ObjectOf(fun)
+		fd := w.a.funcs[obj]
+		if fd == nil {
+			return
+		}
+		w.recurseArgs(fd, call)
+	case *ast.SelectorExpr:
+		p, ok := w.resolve(fun.X)
+		if !ok {
+			return
+		}
+		if resetish(fun.Sel.Name) {
+			w.a.record(p)
+			return
+		}
+		// A helper method on a package-local type: analyze its body with the
+		// receiver bound to the same path.
+		t := w.a.pass.TypesInfo.TypeOf(fun.X)
+		if t == nil {
+			return
+		}
+		if ptr, okp := t.(*types.Pointer); okp {
+			t = ptr.Elem()
+		}
+		named, okn := t.(*types.Named)
+		if !okn {
+			return
+		}
+		fd := w.a.methods[named.Obj()][fun.Sel.Name]
+		if fd == nil {
+			return
+		}
+		w.a.analyzeFunc(fd, recvObject(w.a.pass, fd), p, w.depth+1)
+	}
+}
+
+// recurseArgs analyzes a same-package function called with aliased arguments,
+// binding each such parameter to the argument's path.
+func (w *walker) recurseArgs(fd *ast.FuncDecl, call *ast.CallExpr) {
+	params := fd.Type.Params
+	if params == nil {
+		return
+	}
+	i := 0
+	for _, f := range params.List {
+		for _, name := range f.Names {
+			if i >= len(call.Args) {
+				return
+			}
+			arg := call.Args[i]
+			if p, ok := w.resolve(arg); ok {
+				if u, isAddr := arg.(*ast.UnaryExpr); (isAddr && u.Op == token.AND) || referenceLike(w.a.pass.TypesInfo.TypeOf(arg)) {
+					w.a.analyzeFunc(fd, w.a.pass.TypesInfo.Defs[name], p, w.depth+1)
+				}
+			}
+			i++
+		}
+	}
+}
+
+// checkStruct verifies coverage of every field of st reachable from the
+// prefix path, recursing into package-local struct fields that are written
+// only through aliases.
+func (a *analyzer) checkStruct(dirs *directive.Index, typeName, resetName string, st *types.Struct, prefix string, seen []*types.Struct) {
+	if a.covered[""] {
+		return // *t = T{} clears everything
+	}
+	for _, s := range seen {
+		if s == st {
+			return
+		}
+	}
+	seen = append(seen, st)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		path := f.Name()
+		if prefix != "" {
+			path = prefix + "." + f.Name()
+		}
+		if a.covered[path] {
+			continue
+		}
+		if dirs.Has(f.Pos(), "lint:reset-exempt") {
+			continue
+		}
+		// Delegated clearing: the reset writes through an alias into this
+		// field's struct; require the inner fields instead.
+		if inner := localStruct(a.pass, f.Type()); inner != nil && a.coveredPrefix(path+".") {
+			a.checkStruct(dirs, typeName, resetName, inner, path, seen)
+			continue
+		}
+		a.pass.Reportf(f.Pos(), "field %s of //memdep:resettable type %s is never cleared by (%s).%s; assign or sub-reset it there, or annotate it with //lint:reset-exempt <why>", path, typeName, typeName, resetName)
+	}
+}
+
+func (a *analyzer) coveredPrefix(prefix string) bool {
+	for p := range a.covered {
+		if strings.HasPrefix(p, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// localStruct returns the struct underlying t (through one pointer) when its
+// named type is declared in the package under analysis, else nil.
+func localStruct(pass *analysis.Pass, t types.Type) *types.Struct {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != pass.Pkg {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	return st
+}

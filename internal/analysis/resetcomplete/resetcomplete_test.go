@@ -1,0 +1,12 @@
+package resetcomplete_test
+
+import (
+	"testing"
+
+	"memdep/internal/analysis/analyzertest"
+	"memdep/internal/analysis/resetcomplete"
+)
+
+func TestResetComplete(t *testing.T) {
+	analyzertest.Run(t, ".", resetcomplete.Analyzer, "a")
+}

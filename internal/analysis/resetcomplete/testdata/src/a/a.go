@@ -1,0 +1,98 @@
+package a
+
+// missing exercises the plain case: two fields never mentioned by Reset.
+//
+//memdep:resettable
+type missing struct {
+	entries []int
+	clock   uint64
+	hits    uint64 // want `field hits of //memdep:resettable type missing is never cleared`
+	scratch []int  // want `field scratch of //memdep:resettable type missing is never cleared`
+}
+
+func (m *missing) Reset() {
+	for i := range m.entries {
+		m.entries[i] = 0
+	}
+	m.clock = 0
+}
+
+// complete covers every clearing form the analyzer recognizes: direct
+// assignment, clear(), element writes in a range loop, sub-reset calls,
+// helper methods on the same receiver, and an exempted constant.
+//
+//memdep:resettable
+type complete struct {
+	capacity int //lint:reset-exempt config-constant geometry
+	idx      map[int]int
+	tags     []int
+	sub      *sub
+	count    uint64
+	buckets  map[int][]int
+}
+
+func (c *complete) Reset() {
+	clear(c.idx)
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	c.sub.Reset()
+	c.clearCounters()
+	for k, s := range c.buckets {
+		c.buckets[k] = s[:0]
+	}
+}
+
+func (c *complete) clearCounters() { c.count = 0 }
+
+//memdep:resettable
+type sub struct {
+	vals []int
+	top  int
+}
+
+func (s *sub) Reset() {
+	s.vals = s.vals[:0]
+	s.top = 0
+}
+
+// delegated clears its inner state through an alias, the Simulator-arena
+// idiom; inner.stale is reachable only through the alias and never written.
+//
+//memdep:resettable
+type delegated struct {
+	state inner
+	built bool
+}
+
+type inner struct {
+	cursor int
+	buf    []int
+	stale  uint64 // want `field state.stale of //memdep:resettable type delegated is never cleared`
+}
+
+func (d *delegated) reset() {
+	s := &d.state
+	s.cursor = 0
+	s.buf = s.buf[:0]
+	d.built = false
+}
+
+// wholesale resets by overwriting the receiver, which covers every field.
+//
+//memdep:resettable
+type wholesale struct {
+	a int
+	b []int
+}
+
+func (w *wholesale) Reset() {
+	*w = wholesale{}
+}
+
+// noreset is marked but has no Reset method at all.
+//
+//memdep:resettable
+type noreset struct { // want `//memdep:resettable type noreset has no Reset \(or reset\) method`
+	x int
+}

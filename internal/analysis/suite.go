@@ -10,8 +10,11 @@ import (
 	"memdep/internal/analysis/arenaescape"
 	"memdep/internal/analysis/ctxflow"
 	"memdep/internal/analysis/fieldalign"
+	"memdep/internal/analysis/guardedby"
 	"memdep/internal/analysis/hotalloc"
 	"memdep/internal/analysis/maporder"
+	"memdep/internal/analysis/poollifecycle"
+	"memdep/internal/analysis/resetcomplete"
 )
 
 // All returns the memdep-lint analyzers in a stable order.
@@ -20,7 +23,10 @@ func All() []*xanalysis.Analyzer {
 		arenaescape.Analyzer,
 		ctxflow.Analyzer,
 		fieldalign.Analyzer,
+		guardedby.Analyzer,
 		hotalloc.Analyzer,
 		maporder.Analyzer,
+		poollifecycle.Analyzer,
+		resetcomplete.Analyzer,
 	}
 }

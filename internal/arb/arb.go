@@ -100,8 +100,10 @@ func (c Config) withDefaults() Config {
 // addresses by task, so reclaiming a committed or squashed task costs
 // O(addresses that task touched) instead of a walk over every entry;
 // entryFree and touchedFree recycle the backing storage.
+//
+//memdep:resettable
 type ARB struct {
-	cfg     Config
+	cfg     Config //lint:reset-exempt construction-time configuration, immutable across runs
 	banks   []map[uint64]*entry
 	touched map[uint64][]uint64 // taskID -> tracked addrs
 

@@ -13,10 +13,12 @@ import "fmt"
 
 // SetAssoc is a set-associative cache tag array with LRU replacement.  It
 // tracks presence of block addresses only.
+//
+//memdep:resettable
 type SetAssoc struct {
-	sets      int
-	ways      int
-	blockBits uint
+	sets      int  //lint:reset-exempt cache geometry fixed at construction
+	ways      int  //lint:reset-exempt cache geometry fixed at construction
+	blockBits uint //lint:reset-exempt cache geometry fixed at construction
 	clock     uint64
 	// tags is one flat backing array of sets*ways entries (row-major by
 	// set), allocated in a single shot so constructing a hierarchy costs a

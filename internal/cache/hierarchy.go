@@ -89,8 +89,10 @@ func (c Config) withDefaults() Config {
 
 // Bus models the single split-transaction memory bus: each miss occupies it
 // for a fixed number of cycles, and requests queue behind one another.
+//
+//memdep:resettable
 type Bus struct {
-	occupancy int64
+	occupancy int64 //lint:reset-exempt transfer latency fixed at construction
 	nextFree  int64
 	transfers uint64
 	waitTotal uint64
@@ -128,8 +130,10 @@ func (b *Bus) Reset() { b.nextFree, b.transfers, b.waitTotal = 0, 0, 0 }
 
 // Hierarchy bundles the per-unit instruction caches, the shared banked data
 // cache and the memory bus, and answers timing queries.
+//
+//memdep:resettable
 type Hierarchy struct {
-	cfg    Config
+	cfg    Config //lint:reset-exempt construction-time configuration, immutable across runs
 	icache []*SetAssoc
 	dbanks []*SetAssoc
 	// bankFree is the next cycle at which each data bank can accept an

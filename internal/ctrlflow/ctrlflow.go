@@ -11,15 +11,17 @@ import "memdep/internal/cache"
 // PathPredictor predicts the next task's starting PC from a hashed history of
 // recent task PCs.  It is a tagless first-level table indexed by the path
 // hash; each entry holds the predicted successor and a hysteresis bit.
+//
+//memdep:resettable
 type PathPredictor struct {
-	tableBits  int
-	historyLen int
+	tableBits  int //lint:reset-exempt table geometry fixed at construction
+	historyLen int //lint:reset-exempt table geometry fixed at construction
 	entries    []pathEntry
 	// history is a fixed-capacity ring buffer of the last historyLen task
 	// PCs: histCount live elements starting at histStart, oldest first.  A
 	// ring (rather than an appended-and-trimmed slice) keeps Update free of
 	// steady-state allocations.
-	history     []uint64
+	history     []uint64 //lint:reset-exempt ring storage dead once histCount is zeroed
 	histStart   int
 	histCount   int
 	predictions uint64
@@ -130,8 +132,10 @@ func (p *PathPredictor) Reset() {
 // ReturnAddressStack is the sequencer's 64-entry return address stack.  It is
 // a circular stack: pushes beyond the capacity overwrite the oldest entries,
 // and pops of an empty stack return ok == false.
+//
+//memdep:resettable
 type ReturnAddressStack struct {
-	entries []uint64
+	entries []uint64 //lint:reset-exempt stack storage dead once depth is zeroed
 	top     int
 	depth   int
 }
@@ -176,6 +180,8 @@ func (r *ReturnAddressStack) Reset() { r.top, r.depth = 0, 0 }
 // Sequencer bundles the control-flow structures of the Multiscalar global
 // sequencer: the path-based next-task predictor, the task descriptor cache
 // and the return address stack.
+//
+//memdep:resettable
 type Sequencer struct {
 	predictor *PathPredictor
 	descCache *cache.SetAssoc

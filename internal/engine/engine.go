@@ -78,8 +78,12 @@ type call struct {
 type Engine struct {
 	workers int
 
-	mu    sync.Mutex
-	sims  map[string]Simulator
+	// mu guards the two maps below; the Do fast path reads calls under it
+	// on every cache probe, so hold it only for map operations.
+	mu sync.Mutex
+	//memdep:guardedby mu
+	sims map[string]Simulator
+	//memdep:guardedby mu
 	calls map[string]*call
 
 	executed atomic.Uint64

@@ -5,8 +5,10 @@ package memdep
 // dependences that caused the n most recent mis-speculations.  The paper uses
 // DDC hit/miss rates to show that the static dependences responsible for
 // mis-speculations are few and exhibit temporal locality (Tables 5 and 7).
+//
+//memdep:resettable
 type DDC struct {
-	capacity int
+	capacity int //lint:reset-exempt cache capacity fixed at construction
 	clock    uint64
 	entries  map[PairKey]uint64 // pair -> last access time
 	hits     uint64

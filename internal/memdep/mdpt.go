@@ -28,8 +28,10 @@ type mdptEntry struct {
 // every match, each touch advances the LRU clock, and replacement decisions
 // observe those clocks -- so index traversal must visit entries in exactly
 // the order the former full scan did.
+//
+//memdep:resettable
 type MDPT struct {
-	cfg     Config
+	cfg     Config //lint:reset-exempt construction-time configuration, immutable across runs
 	entries []mdptEntry
 	clock   uint64
 

@@ -39,6 +39,8 @@ type mdstKey struct {
 // maintained incrementally by every allocation, release and replacement and
 // carry no information of their own -- the entry array remains the source of
 // truth, which TestMDSTIndexConsistency asserts.
+//
+//memdep:resettable
 type MDST struct {
 	entries []mdstEntry
 	clock   uint64
@@ -53,7 +55,7 @@ type MDST struct {
 
 	// freedScratch backs the slices returned by ReleaseLoad/ReleaseStore;
 	// the result is valid until the next call to either.
-	freedScratch []PairKey
+	freedScratch []PairKey //lint:reset-exempt scratch backing, overwritten before every read
 
 	allocations    uint64
 	replacements   uint64

@@ -14,10 +14,12 @@ package memdep
 // working set that conflicts in one set can therefore thrash a low-way table
 // even when the table as a whole has room -- exactly the capacity/conflict
 // sensitivity the sweep experiment measures.
+//
+//memdep:resettable
 type SetAssocMDPT struct {
-	cfg  Config
-	ways int
-	sets int
+	cfg  Config //lint:reset-exempt construction-time configuration, immutable across runs
+	ways int    //lint:reset-exempt table geometry fixed at construction
+	sets int    //lint:reset-exempt table geometry fixed at construction
 	// entries holds the sets back to back: set i occupies
 	// entries[i*ways : (i+1)*ways].
 	entries []mdptEntry

@@ -15,9 +15,11 @@ package memdep
 // under pressure).  Per-pair state that the MDST protocol needs -- the
 // dependence distance and the producing task's PC for ESYNC -- lives on the
 // store member, so a store's signal still targets the right load instance.
+//
+//memdep:resettable
 type StoreSetPredictor struct {
-	cfg  Config
-	ways int
+	cfg  Config //lint:reset-exempt construction-time configuration, immutable across runs
+	ways int    //lint:reset-exempt set capacity fixed at construction
 	sets []storeSet
 	// loadSSIT / storeSSIT map a PC to the index of the set it belongs to
 	// (the store set identifier tables).  A PC belongs to at most one set.

@@ -17,26 +17,28 @@ package memdep
 //
 // plus the bookkeeping of sections 4.4.2/4.4.3 (ReleaseLoad, SquashLoad,
 // SquashStore).
+//
+//memdep:resettable
 type System struct {
-	cfg  Config
+	cfg  Config //lint:reset-exempt construction-time configuration, immutable across runs
 	pred Predictor
 	mdst *MDST
 
 	// onRelease, when set, is invoked synchronously from StoreIssue for
 	// every load whose last awaited condition variable that store's signal
 	// fills.  See SetReleaseHook.
-	onRelease func(ldid int64)
+	onRelease func(ldid int64) //lint:reset-exempt wiring owned by SetReleaseHook, not run state
 
 	// Scratch backings for the slices returned in Load/StoreDecision,
 	// reused across calls so the per-operation hot path does not allocate.
-	waitScratch   []PairKey
-	readyScratch  []PairKey
-	signalScratch []PairKey
+	waitScratch   []PairKey //lint:reset-exempt scratch backing, overwritten before every read
+	readyScratch  []PairKey //lint:reset-exempt scratch backing, overwritten before every read
+	signalScratch []PairKey //lint:reset-exempt scratch backing, overwritten before every read
 
 	// Prediction buffers handed to the Predictor's append-into-buffer
 	// lookups, one per direction so the hot path stays allocation-free.
-	loadPredScratch  []Prediction
-	storePredScratch []Prediction
+	loadPredScratch  []Prediction //lint:reset-exempt scratch backing, overwritten before every read
+	storePredScratch []Prediction //lint:reset-exempt scratch backing, overwritten before every read
 
 	stats SystemStats
 }

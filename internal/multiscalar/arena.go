@@ -24,22 +24,25 @@ import (
 // A Simulator is NOT safe for concurrent use; use one per goroutine (the
 // engine keeps one per worker) or go through SimulateContext, which draws
 // from a shared pool.
+//
+//memdep:resettable
 type Simulator struct {
 	s sim
 
 	// The effective (post-defaults) configurations the current subsystem
 	// instances were built with.  When a run's configuration matches, the
-	// subsystem is Reset in place; otherwise it is rebuilt.
-	hierCfg  cache.Config
-	arbCfg   arb.Config
-	seqCfg   ctrlflow.SequencerConfig
-	mdsCfg   memdep.Config
-	ddcSizes []int
+	// subsystem is Reset in place; otherwise it is rebuilt.  They must
+	// survive reset: the config diff against them is what decides reuse.
+	hierCfg  cache.Config             //lint:reset-exempt config-diff baseline, compared before state is cleared
+	arbCfg   arb.Config               //lint:reset-exempt config-diff baseline, compared before state is cleared
+	seqCfg   ctrlflow.SequencerConfig //lint:reset-exempt config-diff baseline, compared before state is cleared
+	mdsCfg   memdep.Config            //lint:reset-exempt config-diff baseline, compared before state is cleared
+	ddcSizes []int                    //lint:reset-exempt config-diff baseline, compared before state is cleared
 
 	// mdsCache parks the dependence-predictor system while runs alternate
 	// to a policy that does not use one, so flipping policies on a reused
 	// arena does not discard (and later rebuild) the tables.
-	mdsCache *memdep.System
+	mdsCache *memdep.System //lint:reset-exempt deliberately parked across runs, see doc comment
 }
 
 // NewSimulator returns an empty arena.  The first Simulate call sizes it.

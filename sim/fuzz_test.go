@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzRequestNormalize throws arbitrary JSON at the request facade and checks
+// the contracts the HTTP server and CLI lean on: decoding plus
+// Normalize/Validate never panic on any input, Normalize is idempotent, a
+// valid request stays valid through Normalize, and the workload identity
+// (which keys the session cache) is unchanged by normalization.
+func FuzzRequestNormalize(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"bench":"compress"}`,
+		`{"synth":{"seed":1}}`,
+		`{"bench":"compress","stages":4,"policy":"naive","core":"stepped","scale":2,` +
+			`"mdpt_entries":128,"predictor":"setassoc","mdpt_ways":2,"ddc_sizes":[16,64]}`,
+		`{"synth":{"name":"x","seed":7,"ops":4096,"body":64,"task_size":12,` +
+			`"task_spread":40,"load_frac":0.5,"store_frac":0.25,"dep_frac":1,` +
+			`"dep_dists":[{"dist":3,"weight":2}],"alias_set_size":5,"loop_carried":0.75}}`,
+		`{"bench":"nosuch","stages":-3,"scale":-1,"mdpt_entries":-4,"mdpt_ways":-2,"ddc_sizes":[0,-5]}`,
+		`{"bench":"compress","synth":{}}`,
+		`{"synth":{"ops":9999999,"task_size":1,"task_spread":3}}`,
+		`not json`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Request
+		if err := json.Unmarshal(data, &r); err != nil {
+			return // not a request; decoding rejected it before the facade
+		}
+		rawErr := r.Validate() // must classify, never panic
+		n := r.Normalize()
+		normErr := n.Validate()
+
+		if again := n.Normalize(); !reflect.DeepEqual(n, again) {
+			t.Errorf("Normalize is not idempotent:\nonce:  %+v\ntwice: %+v", n, again)
+		}
+		if rawErr == nil && normErr != nil {
+			t.Errorf("valid request became invalid after Normalize: %v\nraw:  %+v\nnorm: %+v",
+				normErr, r, n)
+		}
+		if got, want := n.Workload().CanonicalJSON(), r.Workload().CanonicalJSON(); got != want {
+			t.Errorf("workload identity changed across Normalize:\nraw:  %s\nnorm: %s", want, got)
+		}
+		_ = n.WorkloadName()
+	})
+}
