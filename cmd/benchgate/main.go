@@ -82,13 +82,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	failures := gate(base, cand, *prefix, *timeTol, *allocTol, *allocCap, stdout)
+	gated, failures := gate(base, cand, *prefix, *timeTol, *allocTol, *allocCap, stdout)
+	if gated == 0 {
+		// An empty gate is a broken gate, not a green one: a renamed prefix or
+		// a truncated baseline must fail loudly instead of passing every PR.
+		fmt.Fprintf(stderr, "benchgate: no baseline entry matches prefix %q in %s; the gate would vacuously pass\n",
+			*prefix, *baseline)
+		return 1
+	}
 	if failures > 0 {
 		fmt.Fprintf(stderr, "benchgate: %d regression(s) beyond tolerance (time +%.0f%%, allocs +%.0f%%)\n",
 			failures, *timeTol*100, *allocTol*100)
 		return 1
 	}
-	fmt.Fprintln(stdout, "benchgate: ok")
+	fmt.Fprintf(stdout, "benchgate: ok (%d entries gated)\n", gated)
 	return 0
 }
 
@@ -106,17 +113,19 @@ func load(path string) (*report, error) {
 }
 
 // gate compares every gated baseline entry against the candidate, printing
-// one verdict line per entry, and returns the number of failures.
-func gate(base, cand *report, prefix string, timeTol, allocTol float64, allocCap int64, w io.Writer) int {
+// one verdict line per entry, and returns how many baseline entries were
+// gated and how many failed.  A gated count of zero means the gate checked
+// nothing; callers must treat that as a failure, not a pass.
+func gate(base, cand *report, prefix string, timeTol, allocTol float64, allocCap int64, w io.Writer) (gated, failures int) {
 	byName := make(map[string]record, len(cand.Benchmarks))
 	for _, r := range cand.Benchmarks {
 		byName[r.Name] = r
 	}
-	failures := 0
 	for _, b := range base.Benchmarks {
 		if !strings.HasPrefix(b.Name, prefix) {
 			continue
 		}
+		gated++
 		c, ok := byName[b.Name]
 		if !ok {
 			fmt.Fprintf(w, "FAIL %s: present in baseline, missing from candidate\n", b.Name)
@@ -146,7 +155,7 @@ func gate(base, cand *report, prefix string, timeTol, allocTol float64, allocCap
 				b.AllocsPerOp, c.AllocsPerOp, b.BytesPerOp, c.BytesPerOp)
 		}
 	}
-	return failures
+	return gated, failures
 }
 
 // delta returns the fractional change from base to cand.

@@ -107,6 +107,27 @@ func TestPrefixSelectsGatedEntries(t *testing.T) {
 	}
 }
 
+func TestZeroGatedEntriesFails(t *testing.T) {
+	// A baseline with no entry under the gate prefix must fail hard: a
+	// renamed prefix or truncated baseline would otherwise make the gate
+	// vacuously pass every PR.
+	empty := `{"go": "go1.24.0", "benchmarks": [{"name": "sweep/quick/event/jobs=1", "seconds": 1.5}]}`
+	code, out, stderr := runGate(t, empty, empty)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if !strings.Contains(stderr, "no baseline entry matches prefix") {
+		t.Errorf("stderr:\n%s", stderr)
+	}
+	if strings.Contains(out, "benchgate: ok") {
+		t.Errorf("an empty gate must not report ok; stdout:\n%s", out)
+	}
+	// The same hard failure when only the prefix is wrong.
+	if code, _, stderr := runGate(t, baseline, baseline, "-prefix", "simulate/renamed"); code != 1 {
+		t.Fatalf("exit %d, want 1 for an unmatched prefix; stderr:\n%s", code, stderr)
+	}
+}
+
 func TestBadInputs(t *testing.T) {
 	if code, _, _ := runGate(t, "{not json", baseline); code != 2 {
 		t.Error("malformed baseline should exit 2")

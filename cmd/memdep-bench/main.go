@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"memdep/cmd/internal/storeflag"
 	"memdep/cmd/internal/synthflag"
 	"memdep/sim"
 )
@@ -56,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		core       = fs.String("core", "event", "timing-simulator run loop: \"event\" or the \"stepped\" reference (identical output)")
 	)
 	synth := synthflag.Register(fs)
+	storeFlags := storeflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -85,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Core:            sim.CoreMode(*core),
 		Synth:           synthSpec,
 	}
-	session := sim.NewSession(sim.WithWorkers(*jobs))
+	session := sim.NewSession(append([]sim.Option{sim.WithWorkers(*jobs)}, storeFlags.Options()...)...)
 
 	var selected []sim.Experiment
 	if *experiment == "all" {
@@ -128,6 +130,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	st := session.Stats()
 	fmt.Fprintf(stderr, "[engine: %d workers, %d jobs executed, %d cache hits]\n",
 		st.Workers, st.Executed, st.Hits)
+	storeflag.PrintStats(stderr, st)
 
 	if mdOut != nil {
 		if err := os.WriteFile(*md, []byte(mdOut.String()), 0o644); err != nil {

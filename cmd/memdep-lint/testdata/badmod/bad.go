@@ -77,3 +77,16 @@ func HalfLocked(r *Registry) {
 	r.mu.Unlock()
 	r.n++
 }
+
+// TierIndex mirrors the shape of the persistent store's counter map; Peek
+// reads it without the mutex, proving the guardedby analyzer has teeth on
+// exactly the store's locking discipline: one diagnostic.
+type TierIndex struct {
+	mu sync.Mutex
+	//memdep:guardedby mu
+	perKind map[string]int
+}
+
+func Peek(t *TierIndex, kind string) int {
+	return t.perKind[kind]
+}

@@ -7,6 +7,7 @@
 //	POST /v1/grid        run a simulation grid     (body: {"requests": [...]})
 //	GET  /v1/benchmarks  list the workload suite
 //	GET  /v1/healthz     liveness + cache counters
+//	GET  /v1/statz       full session stats, persistent-store counters included
 //
 // Example:
 //
@@ -18,6 +19,11 @@
 // request is cancellable -- a client that disconnects aborts its in-flight
 // simulation.  SIGINT/SIGTERM drain in-flight requests before exit
 // (graceful shutdown).
+//
+// With -store DIR (default $MEMDEP_STORE), the session layers the persistent
+// content-addressed result store under its in-memory cache, so results
+// survive server restarts and are shared with the CLIs pointing at the same
+// directory; GET /v1/statz exposes the store's hit/miss/corrupt counters.
 package main
 
 import (
@@ -39,10 +45,15 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		jobs        = flag.Int("jobs", 0, "engine worker-pool size shared by all requests (0 = GOMAXPROCS)")
 		drainwindow = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
+		storeDir    = flag.String("store", os.Getenv("MEMDEP_STORE"), "persistent result-store directory shared with the CLIs; results survive restarts (default $MEMDEP_STORE; \"\" = in-memory cache only)")
 	)
 	flag.Parse()
 
-	session := sim.NewSession(sim.WithWorkers(*jobs))
+	opts := []sim.Option{sim.WithWorkers(*jobs)}
+	if *storeDir != "" {
+		opts = append(opts, sim.WithStore(*storeDir))
+	}
+	session := sim.NewSession(opts...)
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: newHandler(session),
@@ -59,7 +70,11 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "[memdep-server listening on %s, %d workers]\n", *addr, session.Stats().Workers)
+		if st := session.Stats(); st.Store != nil {
+			fmt.Fprintf(os.Stderr, "[memdep-server listening on %s, %d workers, store %s]\n", *addr, st.Workers, st.Store.Dir)
+		} else {
+			fmt.Fprintf(os.Stderr, "[memdep-server listening on %s, %d workers]\n", *addr, st.Workers)
+		}
 		errc <- srv.ListenAndServe()
 	}()
 

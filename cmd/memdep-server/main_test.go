@@ -360,3 +360,62 @@ func TestSynthSimulate(t *testing.T) {
 		t.Errorf("bad spec: want per-field errors, got %s", errBody)
 	}
 }
+
+// TestStatz pins GET /v1/statz: without a store it mirrors the session
+// stats, and with -store wired it exposes the persistent tier's counters,
+// including the disk hits of a restarted server replaying the same request.
+func TestStatz(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := do(t, "GET", ts.URL+"/v1/statz", "")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	var resp statzResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, body)
+	}
+	if resp.Stats.Workers != 2 || resp.Stats.Store != nil {
+		t.Fatalf("stats = %+v, want 2 workers and no store section", resp.Stats)
+	}
+
+	// A store-backed server counts its disk traffic; a second instance on
+	// the same directory serves the replayed request from disk.
+	dir := t.TempDir()
+	req := `{"synth":{"seed":3,"ops":2048},"stages":4,"policy":"ESYNC"}`
+	storeServer := func() (*httptest.Server, func() sim.Stats) {
+		session := sim.NewSession(sim.WithWorkers(2), sim.WithStore(dir))
+		s := httptest.NewServer(newHandler(session))
+		t.Cleanup(s.Close)
+		return s, session.Stats
+	}
+	ts1, _ := storeServer()
+	if status, _ := do(t, "POST", ts1.URL+"/v1/simulate", req); status != http.StatusOK {
+		t.Fatalf("cold simulate: status = %d", status)
+	}
+	_, body = do(t, "GET", ts1.URL+"/v1/statz", "")
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.Store == nil || resp.Stats.Store.Counters.Writes == 0 {
+		t.Fatalf("cold statz missing store writes: %s", body)
+	}
+
+	ts2, _ := storeServer()
+	if status, _ := do(t, "POST", ts2.URL+"/v1/simulate", req); status != http.StatusOK {
+		t.Fatalf("warm simulate: status = %d", status)
+	}
+	_, body = do(t, "GET", ts2.URL+"/v1/statz", "")
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	st := resp.Stats
+	if st.Store == nil || st.Store.Counters.Hits == 0 {
+		t.Fatalf("warm statz missing store hits: %s", body)
+	}
+	if st.Executed != 0 {
+		t.Fatalf("restarted server executed %d jobs, want 0 (served from disk)", st.Executed)
+	}
+	if kc := st.Store.Kinds["multiscalar/simulate"]; kc.Hits == 0 {
+		t.Fatalf("no per-kind simulate hits: %s", body)
+	}
+}

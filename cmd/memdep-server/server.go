@@ -49,6 +49,13 @@ type healthResponse struct {
 	Stats  sim.Stats `json:"stats"`
 }
 
+// statzResponse is the response of GET /v1/statz: the same session stats as
+// /v1/healthz, served on its own path so dashboards scraping store counters
+// do not double as liveness probes.
+type statzResponse struct {
+	Stats sim.Stats `json:"stats"`
+}
+
 // newHandler builds the route table.
 func newHandler(s *sim.Session) http.Handler {
 	srv := &server{session: s}
@@ -57,6 +64,7 @@ func newHandler(s *sim.Session) http.Handler {
 	mux.HandleFunc("POST /v1/grid", srv.handleGrid)
 	mux.HandleFunc("GET /v1/benchmarks", srv.handleBenchmarks)
 	mux.HandleFunc("GET /v1/healthz", srv.handleHealthz)
+	mux.HandleFunc("GET /v1/statz", srv.handleStatz)
 	return mux
 }
 
@@ -164,4 +172,10 @@ func (s *server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 // handleHealthz reports liveness and the cache counters: GET /v1/healthz.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Stats: s.session.Stats()})
+}
+
+// handleStatz reports the full session stats, the persistent store's
+// per-kind hit/miss/bypass/corrupt counters included: GET /v1/statz.
+func (s *server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statzResponse{Stats: s.session.Stats()})
 }

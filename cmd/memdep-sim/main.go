@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"memdep/cmd/internal/storeflag"
 	"memdep/cmd/internal/synthflag"
 	"memdep/sim"
 )
@@ -50,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		core     = fs.String("core", "event", "timing-simulator run loop: \"event\" or the \"stepped\" reference (identical output)")
 	)
 	synth := synthflag.Register(fs)
+	storeFlags := storeflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -98,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			})
 		}
 	}
-	session := sim.NewSession(sim.WithWorkers(*jobs))
+	session := sim.NewSession(append([]sim.Option{sim.WithWorkers(*jobs)}, storeFlags.Options()...)...)
 	results, err := session.RunGrid(context.Background(), reqs)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -111,11 +113,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		printResult(stdout, res, *topPairs)
 	}
+	st := session.Stats()
 	if len(results) > 1 {
-		st := session.Stats()
 		fmt.Fprintf(stdout, "\n[engine: %d workers, %d jobs executed, %d cache hits]\n",
 			st.Workers, st.Executed, st.Hits)
 	}
+	storeflag.PrintStats(stderr, st)
 	return 0
 }
 

@@ -1,0 +1,180 @@
+// Command memdep-store maintains a persistent result-store directory (the
+// -store directory of the simulation CLIs and $MEMDEP_STORE of
+// memdep-server) from outside any simulation: it reports disk usage, evicts
+// least-recently-used objects to a byte budget, and checksum-walks every
+// object.
+//
+// Usage:
+//
+//	memdep-store stats  [-store DIR] [-json]
+//	memdep-store gc     [-store DIR] -max-bytes N [-json]
+//	memdep-store verify [-store DIR] [-delete] [-json]
+//
+// The store directory defaults to $MEMDEP_STORE.  All subcommands are safe
+// to run while simulations use the directory: readers that lose an object to
+// gc or verify -delete take a cache miss and recompute.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"memdep/internal/store"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "stats":
+		return runStats(args[1:], stdout, stderr)
+	case "gc":
+		return runGC(args[1:], stdout, stderr)
+	case "verify":
+		return runVerify(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `memdep-store maintains a persistent result-store directory.
+
+Subcommands:
+  stats   report object counts and bytes, split by job kind
+  gc      evict least-recently-used objects until the store fits -max-bytes
+  verify  checksum-walk every object; exit 1 if any fails validation
+
+Common flags:
+  -store DIR   store directory (default $MEMDEP_STORE)
+  -json        emit machine-readable JSON instead of text
+`)
+}
+
+// storeFS builds a subcommand flag set with the common -store/-json flags.
+func storeFS(name string, stderr io.Writer) (*flag.FlagSet, *string, *bool) {
+	fs := flag.NewFlagSet("memdep-store "+name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("store", os.Getenv("MEMDEP_STORE"), "store directory (default $MEMDEP_STORE)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
+	return fs, dir, jsonOut
+}
+
+// parse runs fs over args and checks the store directory was given.
+func parse(fs *flag.FlagSet, args []string, dir *string, stderr io.Writer) (int, bool) {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0, false
+		}
+		return 2, false
+	}
+	if *dir == "" {
+		fmt.Fprintln(stderr, "no store directory: set -store or $MEMDEP_STORE")
+		return 2, false
+	}
+	return 0, true
+}
+
+// printJSON writes v as indented JSON.
+func printJSON(w io.Writer, v any) {
+	data, _ := json.MarshalIndent(v, "", "  ")
+	fmt.Fprintf(w, "%s\n", data)
+}
+
+func runStats(args []string, stdout, stderr io.Writer) int {
+	fs, dir, jsonOut := storeFS("stats", stderr)
+	if code, ok := parse(fs, args, dir, stderr); !ok {
+		return code
+	}
+	u, err := store.Usage(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if *jsonOut {
+		printJSON(stdout, u)
+		return 0
+	}
+	fmt.Fprintf(stdout, "store     %s\n", *dir)
+	fmt.Fprintf(stdout, "objects   %d (%d bytes)\n", u.Objects, u.Bytes)
+	kinds := make([]string, 0, len(u.Kinds))
+	for k := range u.Kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		ku := u.Kinds[k]
+		fmt.Fprintf(stdout, "  %-24s %6d objects  %12d bytes\n", k, ku.Objects, ku.Bytes)
+	}
+	return 0
+}
+
+func runGC(args []string, stdout, stderr io.Writer) int {
+	fs, dir, jsonOut := storeFS("gc", stderr)
+	maxBytes := fs.Int64("max-bytes", -1, "evict least-recently-used objects until the store fits this many bytes")
+	if code, ok := parse(fs, args, dir, stderr); !ok {
+		return code
+	}
+	if *maxBytes < 0 {
+		fmt.Fprintln(stderr, "gc requires -max-bytes")
+		return 2
+	}
+	res, err := store.GC(*dir, *maxBytes)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if *jsonOut {
+		printJSON(stdout, res)
+		return 0
+	}
+	fmt.Fprintf(stdout, "evicted   %d objects (%d bytes)\n", res.Evicted, res.EvictedBytes)
+	fmt.Fprintf(stdout, "kept      %d objects (%d bytes, budget %d)\n", res.Kept, res.KeptBytes, *maxBytes)
+	return 0
+}
+
+func runVerify(args []string, stdout, stderr io.Writer) int {
+	fs, dir, jsonOut := storeFS("verify", stderr)
+	deleteBad := fs.Bool("delete", false, "remove objects that fail validation")
+	if code, ok := parse(fs, args, dir, stderr); !ok {
+		return code
+	}
+	res, err := store.Verify(*dir, *deleteBad)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if *jsonOut {
+		printJSON(stdout, res)
+	} else {
+		fmt.Fprintf(stdout, "checked   %d objects (%d stale)\n", res.Checked, res.Stale)
+		for _, b := range res.Bad {
+			fmt.Fprintf(stdout, "bad       %s: %s\n", b.Path, b.Reason)
+		}
+	}
+	if len(res.Bad) > 0 {
+		action := "rewritten on their next miss"
+		if *deleteBad {
+			action = "deleted"
+		}
+		fmt.Fprintf(stderr, "%d objects failed validation (%s)\n", len(res.Bad), action)
+		return 1
+	}
+	return 0
+}

@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"memdep/cmd/internal/storeflag"
 	"memdep/cmd/internal/synthflag"
 	"memdep/sim"
 )
@@ -42,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jobs     = fs.Int("jobs", 0, "session worker-pool size (0 = GOMAXPROCS)")
 	)
 	synth := synthflag.Register(fs)
+	storeFlags := storeflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -57,7 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// All inspection modes resolve their inputs through one session, so a
 	// shell loop over modes shares programs and functional runs via the
 	// session cache.
-	session := sim.NewSession(sim.WithWorkers(*jobs))
+	session := sim.NewSession(append([]sim.Option{sim.WithWorkers(*jobs)}, storeFlags.Options()...)...)
 	ctx := context.Background()
 	treq := sim.TraceRequest{Bench: benchName, Synth: synthSpec, Scale: *scale, MaxInstructions: *maxInstr}
 

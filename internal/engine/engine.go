@@ -67,6 +67,22 @@ func Key(spec Spec) string {
 	return spec.JobKind() + "\x00" + spec.CacheKey()
 }
 
+// Tier is an optional second-level cache beneath the in-memory memo map,
+// typically a persistent content-addressed store shared across processes
+// (internal/store).  Do consults it read-through on a memory miss and writes
+// computed results behind it; errors are never persisted.  Implementations
+// must be safe for concurrent use, must treat every failure as a miss (a
+// Tier is an optimization, never a source of truth), and Load must return
+// values indistinguishable from freshly computed ones -- warm results feed
+// the same deterministic drivers as cold ones.
+type Tier interface {
+	// Load returns the persisted result of a (kind, key) job, if one exists.
+	Load(kind, key string) (any, bool)
+	// Save persists a computed result.  Concurrent Saves of the same pair
+	// (from any number of processes) must race benignly.
+	Save(kind, key string, v any)
+}
+
 // call is one memoized (possibly in-flight) job execution.
 type call struct {
 	done chan struct{}
@@ -85,6 +101,8 @@ type Engine struct {
 	sims map[string]Simulator
 	//memdep:guardedby mu
 	calls map[string]*call
+	//memdep:guardedby mu
+	tier Tier
 
 	executed atomic.Uint64
 	hits     atomic.Uint64
@@ -119,7 +137,19 @@ func (e *Engine) Register(sims ...Simulator) {
 	}
 }
 
-// Executed returns the number of jobs actually computed (cache misses).
+// SetTier installs a second-level cache beneath the in-memory memo map.
+// Install it before submitting work; jobs already in flight keep the tier
+// they started with (none).
+//
+//lint:noctx setter, no blocking work
+func (e *Engine) SetTier(t Tier) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tier = t
+}
+
+// Executed returns the number of jobs actually computed (cache misses that
+// the second tier, when installed, could not serve either).
 func (e *Engine) Executed() uint64 { return e.executed.Load() }
 
 // Hits returns the number of Do calls served from the cache or deduplicated
@@ -178,17 +208,30 @@ func (e *Engine) Do(ctx context.Context, spec Spec) (any, error) {
 	}
 	c := &call{done: make(chan struct{})}
 	e.calls[k] = c
+	tier := e.tier
 	e.mu.Unlock()
 
-	func() {
-		defer func() {
-			if p := recover(); p != nil {
-				c.val = nil
-				c.err = fmt.Errorf("engine: %s job %q panicked: %v", spec.JobKind(), spec.CacheKey(), p)
-			}
+	// Read through the second tier before computing: a persisted result is
+	// memoized under the in-flight call exactly like a computed one, so
+	// concurrent callers deduplicate onto the disk read too.
+	fromTier := false
+	if tier != nil {
+		if v, ok := tier.Load(spec.JobKind(), spec.CacheKey()); ok {
+			c.val = v
+			fromTier = true
+		}
+	}
+	if !fromTier {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					c.val = nil
+					c.err = fmt.Errorf("engine: %s job %q panicked: %v", spec.JobKind(), spec.CacheKey(), p)
+				}
+			}()
+			c.val, c.err = sim.Simulate(ctx, e, spec)
 		}()
-		c.val, c.err = sim.Simulate(ctx, e, spec)
-	}()
+	}
 	if isCancellation(c.err) {
 		// Evict before waking waiters so no caller -- new or currently
 		// blocked on done -- can read one request's cancellation as its own
@@ -198,7 +241,14 @@ func (e *Engine) Do(ctx context.Context, spec Spec) (any, error) {
 		e.mu.Unlock()
 	}
 	close(c.done)
-	e.executed.Add(1)
+	if !fromTier {
+		e.executed.Add(1)
+		if tier != nil && c.err == nil {
+			// Write behind: waiters were woken first, so nobody blocks on
+			// the disk write; only this computing caller pays for it.
+			tier.Save(spec.JobKind(), spec.CacheKey(), c.val)
+		}
+	}
 	return c.val, c.err
 }
 

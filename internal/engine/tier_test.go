@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeTier is an in-memory Tier that records its traffic.
+type fakeTier struct {
+	mu sync.Mutex
+	//memdep:guardedby mu
+	objects map[string]any
+	//memdep:guardedby mu
+	loads int
+	//memdep:guardedby mu
+	saves int
+}
+
+func newFakeTier() *fakeTier {
+	return &fakeTier{objects: map[string]any{}}
+}
+
+func (f *fakeTier) Load(kind, key string) (any, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.loads++
+	v, ok := f.objects[kind+"\x00"+key]
+	return v, ok
+}
+
+func (f *fakeTier) Save(kind, key string, v any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.saves++
+	f.objects[kind+"\x00"+key] = v
+}
+
+func (f *fakeTier) snapshot() (loads, saves int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.loads, f.saves
+}
+
+// seed stores a result under the composition Do uses for tier lookups.
+func (f *fakeTier) seed(spec Spec, v any) {
+	f.Save(spec.JobKind(), spec.CacheKey(), v)
+}
+
+func TestTierMissComputesAndSaves(t *testing.T) {
+	e, sim := newTestEngine(2)
+	tier := newFakeTier()
+	e.SetTier(tier)
+
+	v, err := Resolve[string](context.Background(), e, echoSpec{id: "a"})
+	if err != nil || v != "a" {
+		t.Fatalf("Resolve = %v, %v", v, err)
+	}
+	if n := sim.computed.Load(); n != 1 {
+		t.Fatalf("computed %d, want 1", n)
+	}
+	loads, saves := tier.snapshot()
+	if loads != 1 || saves != 1 {
+		t.Fatalf("tier loads=%d saves=%d, want 1/1 (miss then write-behind)", loads, saves)
+	}
+	if e.Executed() != 1 {
+		t.Fatalf("executed = %d, want 1", e.Executed())
+	}
+
+	// The in-memory tier answers repeats; the disk tier is not re-consulted.
+	if _, err := Resolve[string](context.Background(), e, echoSpec{id: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if loads, _ := tier.snapshot(); loads != 1 {
+		t.Fatalf("tier consulted %d times, want 1 (memory cache must answer first)", loads)
+	}
+}
+
+func TestTierHitSkipsComputation(t *testing.T) {
+	e, sim := newTestEngine(2)
+	tier := newFakeTier()
+	spec := echoSpec{id: "warm"}
+	tier.seed(spec, "from-disk")
+	e.SetTier(tier)
+
+	v, err := Resolve[string](context.Background(), e, spec)
+	if err != nil || v != "from-disk" {
+		t.Fatalf("Resolve = %v, %v; want the tier's value", v, err)
+	}
+	if n := sim.computed.Load(); n != 0 {
+		t.Fatalf("computed %d, want 0 (tier hit must skip the simulator)", n)
+	}
+	// A tier hit is not an execution: warm runs report Executed() == 0.
+	if e.Executed() != 0 {
+		t.Fatalf("executed = %d, want 0 on a tier hit", e.Executed())
+	}
+	if _, saves := tier.snapshot(); saves != 1 {
+		t.Fatalf("saves = %d, want 1 (the seed only; hits must not re-save)", saves)
+	}
+	// The hit is memoized in memory like any other result.
+	if _, err := Resolve[string](context.Background(), e, spec); err != nil {
+		t.Fatal(err)
+	}
+	if e.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", e.Hits())
+	}
+}
+
+func TestTierNeverSeesErrors(t *testing.T) {
+	e, _ := newTestEngine(2)
+	tier := newFakeTier()
+	e.SetTier(tier)
+
+	if _, err := e.Do(context.Background(), echoSpec{id: "bad", fail: true}); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := e.Do(context.Background(), echoSpec{id: "p", panics: true}); err == nil {
+		t.Fatal("want panic error")
+	}
+	if _, saves := tier.snapshot(); saves != 0 {
+		t.Fatalf("saves = %d, want 0 (failed jobs must never persist)", saves)
+	}
+}
+
+func TestTierCancellationNotPersisted(t *testing.T) {
+	e, _ := newTestEngine(2)
+	tier := newFakeTier()
+	e.SetTier(tier)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Do(ctx, echoSpec{id: "never"}); err == nil {
+		t.Fatal("want cancellation error")
+	}
+	if _, saves := tier.snapshot(); saves != 0 {
+		t.Fatalf("saves = %d, want 0 (cancelled jobs must never persist)", saves)
+	}
+}
+
+func TestTierConcurrentCallersLoadOnce(t *testing.T) {
+	e, sim := newTestEngine(8)
+	tier := newFakeTier()
+	spec := echoSpec{id: "contended"}
+	tier.seed(spec, "shared")
+	e.SetTier(tier)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := Resolve[string](context.Background(), e, spec)
+			if err != nil || v != "shared" {
+				t.Errorf("Resolve = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if loads, _ := tier.snapshot(); loads != 1 {
+		t.Fatalf("tier loaded %d times under contention, want 1 (singleflight)", loads)
+	}
+	if n := sim.computed.Load(); n != 0 {
+		t.Fatalf("computed %d, want 0", n)
+	}
+}
+
+func TestTierDistinctKeysDoNotCollide(t *testing.T) {
+	e, _ := newTestEngine(4)
+	tier := newFakeTier()
+	e.SetTier(tier)
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		v, err := Resolve[string](context.Background(), e, echoSpec{id: id})
+		if err != nil || v != id {
+			t.Fatalf("Resolve(%s) = %v, %v", id, v, err)
+		}
+	}
+	tier.mu.Lock()
+	n := len(tier.objects)
+	tier.mu.Unlock()
+	if n != 8 {
+		t.Fatalf("tier holds %d objects, want 8", n)
+	}
+}

@@ -1,0 +1,242 @@
+package multiscalar
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"memdep/internal/isa"
+)
+
+// workItemVersion versions the binary WorkItem encoding below.  Bump it
+// whenever the wire layout or the meaning of a field changes; the persistent
+// store treats a decode failure as a cache miss, so readers of an older
+// format simply recompute.
+const workItemVersion = 1
+
+// AppendWorkItem appends a compact binary encoding of w to dst and returns
+// the extended slice.  The encoding stores only the irreducible fields of the
+// preprocessed stream -- task boundaries, per-instruction op/pc/address and
+// the resolved register and memory producers; everything Preprocess derives
+// (instruction classes, load ordinals, per-task and global op counts) is
+// reconstructed by DecodeWorkItem, so the two can never disagree.
+func AppendWorkItem(dst []byte, w *WorkItem) []byte {
+	dst = binary.AppendUvarint(dst, workItemVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(w.Name)))
+	dst = append(dst, w.Name...)
+	dst = binary.AppendUvarint(dst, uint64(len(w.tasks)))
+	for ti := range w.tasks {
+		t := &w.tasks[ti]
+		dst = binary.AppendUvarint(dst, t.pc)
+		dst = binary.AppendUvarint(dst, uint64(len(t.insts)))
+		for i := range t.insts {
+			r := &t.insts[i]
+			dst = append(dst, byte(r.op))
+			var flags byte
+			if r.hasMemProd {
+				flags |= 1
+			}
+			dst = append(dst, flags)
+			dst = binary.AppendUvarint(dst, r.pc)
+			dst = binary.AppendUvarint(dst, r.addr)
+			for s := 0; s < r.nSrc; s++ {
+				dst = binary.AppendVarint(dst, int64(r.srcProd[s].taskIdx))
+				dst = binary.AppendVarint(dst, int64(r.srcProd[s].idx))
+			}
+			if r.hasMemProd {
+				dst = binary.AppendVarint(dst, int64(r.memProd.taskIdx))
+				dst = binary.AppendVarint(dst, int64(r.memProd.idx))
+				dst = binary.AppendUvarint(dst, r.memProdPC)
+			}
+		}
+	}
+	return dst
+}
+
+// wiReader is a bounds-checked cursor over an encoded WorkItem; the first
+// failed read latches err and every later read returns zero, so the decode
+// loop stays linear instead of threading errors through every call.
+type wiReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *wiReader) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *wiReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("multiscalar: truncated uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *wiReader) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("multiscalar: truncated varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *wiReader) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.data) {
+		d.fail("multiscalar: truncated byte at offset %d", d.off)
+		return 0
+	}
+	b := d.data[d.off]
+	d.off++
+	return b
+}
+
+func (d *wiReader) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.data)-d.off) {
+		d.fail("multiscalar: %d-byte field exceeds the %d remaining bytes", n, len(d.data)-d.off)
+		return nil
+	}
+	b := d.data[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+// remaining returns how many input bytes are left, for sanity-capping length
+// claims before allocating.
+func (d *wiReader) remaining() uint64 { return uint64(len(d.data) - d.off) }
+
+// DecodeWorkItem decodes an AppendWorkItem encoding.  It never panics on
+// malformed input: every length claim is capped against the remaining bytes
+// before allocating, every producer reference is range-checked against the
+// stream decoded so far (producers only ever point backwards), and any
+// violation returns an error.  Derived state (classes, load ordinals, op
+// counts) is recomputed exactly as Preprocess computes it.
+func DecodeWorkItem(data []byte) (*WorkItem, error) {
+	d := &wiReader{data: data}
+	if v := d.uvarint(); d.err == nil && v != workItemVersion {
+		return nil, fmt.Errorf("multiscalar: work-item encoding version %d, want %d", v, workItemVersion)
+	}
+	w := &WorkItem{Name: string(d.bytes(d.uvarint()))}
+
+	numTasks := d.uvarint()
+	// A task costs at least two bytes on the wire.
+	if numTasks > d.remaining()/2 {
+		return nil, fmt.Errorf("multiscalar: task count %d exceeds the input size", numTasks)
+	}
+	if d.err == nil {
+		w.tasks = make([]taskRec, 0, numTasks)
+	}
+	for ti := uint64(0); ti < numTasks && d.err == nil; ti++ {
+		t := taskRec{id: int(ti), pc: d.uvarint()}
+		numInsts := d.uvarint()
+		// An instruction costs at least four bytes on the wire.
+		if numInsts > d.remaining()/4 {
+			return nil, fmt.Errorf("multiscalar: instruction count %d exceeds the input size", numInsts)
+		}
+		if d.err == nil {
+			t.insts = make([]dynRec, 0, numInsts)
+		}
+		for i := uint64(0); i < numInsts && d.err == nil; i++ {
+			op := isa.Op(d.byte())
+			if d.err == nil && !op.Valid() {
+				return nil, fmt.Errorf("multiscalar: invalid op %d in task %d", op, ti)
+			}
+			flags := d.byte()
+			if flags&^byte(1) != 0 {
+				return nil, fmt.Errorf("multiscalar: unknown flag bits %#x in task %d", flags, ti)
+			}
+			r := dynRec{
+				op:      op,
+				class:   isa.ClassOf(op),
+				pc:      d.uvarint(),
+				addr:    d.uvarint(),
+				isLoad:  isa.IsLoad(op),
+				isStore: isa.IsStore(op),
+			}
+			// The source count is a function of the opcode, exactly as
+			// Preprocess derives it from the static instruction.
+			_, nSrc := isa.Instruction{Op: op}.Uses()
+			for s := 0; s < nSrc && d.err == nil; s++ {
+				ref := prodRef{taskIdx: int(d.varint()), idx: int(d.varint())}
+				if d.err == nil {
+					if err := checkRef(ref, w.tasks, len(t.insts)); err != nil {
+						return nil, err
+					}
+				}
+				r.srcProd[r.nSrc] = ref
+				r.nSrc++
+			}
+			if flags&1 != 0 {
+				r.memProd = prodRef{taskIdx: int(d.varint()), idx: int(d.varint())}
+				r.hasMemProd = true
+				r.memProdPC = d.uvarint()
+				if d.err == nil {
+					if err := checkRef(r.memProd, w.tasks, len(t.insts)); err != nil {
+						return nil, err
+					}
+					if r.memProd == noProducer {
+						return nil, fmt.Errorf("multiscalar: memory producer flagged but absent in task %d", ti)
+					}
+				}
+			}
+			if r.isLoad {
+				r.loadOrd = t.loads
+				t.loads++
+				w.Loads++
+			}
+			if r.isStore {
+				t.stores++
+				w.Stores++
+			}
+			t.insts = append(t.insts, r)
+			w.Instructions++
+		}
+		w.tasks = append(w.tasks, t)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("multiscalar: %d trailing bytes after the work item", len(data)-d.off)
+	}
+	if len(w.tasks) == 0 {
+		return nil, fmt.Errorf("multiscalar: encoded work item has no tasks")
+	}
+	return w, nil
+}
+
+// checkRef validates a producer reference against the stream decoded so far:
+// producers are either noProducer or point strictly backwards -- into a fully
+// decoded earlier task (done holds those), or to an earlier instruction of
+// the task currently being decoded, which has curIdx instructions built.
+func checkRef(ref prodRef, done []taskRec, curIdx int) error {
+	if ref == noProducer {
+		return nil
+	}
+	valid := ref.taskIdx >= 0 && ref.idx >= 0 &&
+		((ref.taskIdx < len(done) && ref.idx < len(done[ref.taskIdx].insts)) ||
+			(ref.taskIdx == len(done) && ref.idx < curIdx))
+	if !valid {
+		return fmt.Errorf("multiscalar: producer (%d,%d) does not precede instruction %d of task %d",
+			ref.taskIdx, ref.idx, curIdx, len(done))
+	}
+	return nil
+}

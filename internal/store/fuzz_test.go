@@ -1,0 +1,98 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fuzzDigest is the fixed key digest FuzzStoreDecode validates against; the
+// seed corpus is built for it, and mutated inputs that carry any other digest
+// exercise the key-mismatch path.
+var fuzzDigest = sha256.Sum256([]byte("fuzz/kind\x00fuzz-key"))
+
+// fuzzSeeds returns the committed seed corpus: one intact envelope plus the
+// canonical near-misses (each failure branch of decodeEnvelope).
+func fuzzSeeds() [][]byte {
+	intact := appendEnvelope(nil, fuzzDigest, []byte("payload"))
+	empty := appendEnvelope(nil, fuzzDigest, nil)
+
+	badMagic := append([]byte{}, intact...)
+	badMagic[0] = 'X'
+
+	wrongVersion := append([]byte{}, intact...)
+	wrongVersion[4] = Version + 1
+
+	wrongKey := append([]byte{}, intact...)
+	wrongKey[8] ^= 0xff
+
+	badSum := append([]byte{}, intact...)
+	badSum[40] ^= 0xff
+
+	badLen := append([]byte{}, intact...)
+	badLen[72] ^= 0x01
+
+	return [][]byte{
+		intact,
+		empty,
+		intact[:headerLen-1],            // truncated header
+		intact[:len(intact)-2],          // truncated payload
+		append([]byte{}, intact[:0]...), // empty input
+		badMagic,
+		wrongVersion,
+		wrongKey,
+		badSum,
+		badLen,
+		append(append([]byte{}, intact...), 0xaa), // trailing byte
+	}
+}
+
+// FuzzStoreDecode fuzzes the envelope reader with the contract the store
+// relies on: decodeEnvelope never panics, and any input it accepts is exactly
+// the canonical encoding of its payload -- so a successful decode re-encodes
+// byte-identically, and everything else is a miss.
+func FuzzStoreDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := decodeEnvelope(data, fuzzDigest)
+		if err != nil {
+			return // a miss; the store recomputes
+		}
+		if got := appendEnvelope(nil, fuzzDigest, payload); !bytes.Equal(got, data) {
+			t.Fatalf("accepted envelope is not canonical:\ninput    %x\nreencode %x", data, got)
+		}
+	})
+}
+
+// TestFuzzSeedCorpusCommitted pins that the committed corpus under
+// testdata/fuzz/FuzzStoreDecode stays in sync with fuzzSeeds: every seed is
+// on disk (go test runs committed corpus entries even without -fuzz), and
+// regenerates the files when MEMDEP_UPDATE_CORPUS=1 is set.
+func TestFuzzSeedCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzStoreDecode")
+	seeds := fuzzSeeds()
+	if os.Getenv("MEMDEP_UPDATE_CORPUS") == "1" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range seeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if _, err := os.Stat(name); err != nil {
+			t.Fatalf("seed corpus entry missing (regenerate with MEMDEP_UPDATE_CORPUS=1): %v", err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fill saves n distinct single-kind objects and returns their paths in key
+// order, with strictly increasing mtimes so LRU order is fully determined.
+func fill(t *testing.T, s *Store, n int) []string {
+	t.Helper()
+	base := time.Now().Add(-time.Duration(n+1) * time.Hour)
+	paths := make([]string, n)
+	for i := 0; i < n; i++ {
+		key := string(rune('a' + i))
+		s.Save(testKind, key, strings.Repeat(key, 10))
+		paths[i] = objectFile(t, s, testKind, key)
+		stamp := base.Add(time.Duration(i) * time.Hour)
+		if err := os.Chtimes(paths[i], stamp, stamp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+func TestUsage(t *testing.T) {
+	s := openTest(t)
+	fill(t, s, 3)
+	u, err := Usage(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Objects != 3 || u.Bytes != 3*(headerLen+10) {
+		t.Fatalf("usage = %+v, want 3 objects of %d bytes each", u, headerLen+10)
+	}
+	ku, ok := u.Kinds[sanitizeKind(testKind)]
+	if !ok || ku.Objects != 3 {
+		t.Fatalf("kind usage = %+v", u.Kinds)
+	}
+	// An empty (even nonexistent) store has zero usage, not an error.
+	u, err = Usage(filepath.Join(t.TempDir(), "never-created"))
+	if err != nil || u.Objects != 0 {
+		t.Fatalf("empty usage = %+v, %v", u, err)
+	}
+}
+
+// TestGCEvictsDeterministically pins LRU eviction: with fully ordered
+// timestamps, GC removes exactly the oldest objects needed to meet the byte
+// budget and nothing else.
+func TestGCEvictsDeterministically(t *testing.T) {
+	s := openTest(t)
+	paths := fill(t, s, 5)
+	objSize := int64(headerLen + 10)
+
+	// Budget for exactly three objects: the two oldest must go.
+	res, err := GC(s.Dir(), 3*objSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted != 2 || res.Kept != 3 || res.KeptBytes != 3*objSize {
+		t.Fatalf("gc = %+v", res)
+	}
+	for i, p := range paths {
+		_, err := os.Stat(p)
+		if gone := os.IsNotExist(err); gone != (i < 2) {
+			t.Fatalf("object %d: exists=%v, want evicted only for the two oldest", i, !gone)
+		}
+	}
+
+	// A second pass under the same budget is a no-op: eviction is stable.
+	res, err = GC(s.Dir(), 3*objSize)
+	if err != nil || res.Evicted != 0 || res.Kept != 3 {
+		t.Fatalf("second gc = %+v, %v", res, err)
+	}
+
+	// A zero budget empties the store.
+	res, err = GC(s.Dir(), 0)
+	if err != nil || res.Kept != 0 || res.Evicted != 3 {
+		t.Fatalf("gc to zero = %+v, %v", res, err)
+	}
+}
+
+// TestGCHonorsLoadRecency pins the LRU signal end to end: touching an old
+// object via Load saves it from an eviction that claims its untouched peer.
+func TestGCHonorsLoadRecency(t *testing.T) {
+	s := openTest(t)
+	paths := fill(t, s, 2)
+	// Object 0 is older; a hit refreshes its stamp past object 1's.
+	if _, ok := s.Load(testKind, "a"); !ok {
+		t.Fatal("miss on object 0")
+	}
+	res, err := GC(s.Dir(), int64(headerLen+10))
+	if err != nil || res.Evicted != 1 {
+		t.Fatalf("gc = %+v, %v", res, err)
+	}
+	if _, err := os.Stat(paths[0]); err != nil {
+		t.Fatal("recently loaded object was evicted")
+	}
+	if _, err := os.Stat(paths[1]); !os.IsNotExist(err) {
+		t.Fatal("stale object survived")
+	}
+}
+
+func TestGCReapsStaleTempFiles(t *testing.T) {
+	s := openTest(t)
+	fill(t, s, 1)
+	shard := filepath.Dir(objectFile(t, s, testKind, "a"))
+	stale := filepath.Join(shard, ".tmp-123")
+	fresh := filepath.Join(shard, ".tmp-456")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpMaxAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GC(s.Dir(), 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived GC")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("in-flight temp file was reaped")
+	}
+}
+
+func TestVerifyWalk(t *testing.T) {
+	s := openTest(t)
+	fill(t, s, 3)
+
+	// All intact.
+	res, err := Verify(s.Dir(), false)
+	if err != nil || res.Checked != 3 || len(res.Bad) != 0 || res.Stale != 0 {
+		t.Fatalf("verify = %+v, %v", res, err)
+	}
+
+	// Corrupt one object; verify reports it but leaves it unless asked.
+	victim := objectFile(t, s, testKind, "b")
+	if err := os.WriteFile(victim, []byte("MDSOgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Verify(s.Dir(), false)
+	if err != nil || len(res.Bad) != 1 || res.Bad[0].Path != victim {
+		t.Fatalf("verify = %+v, %v", res, err)
+	}
+	if _, err := os.Stat(victim); err != nil {
+		t.Fatal("verify without -delete removed the object")
+	}
+
+	// With delete, the bad object is reclaimed; intact ones survive.
+	if res, err = Verify(s.Dir(), true); err != nil || len(res.Bad) != 1 {
+		t.Fatalf("verify -delete = %+v, %v", res, err)
+	}
+	if _, err := os.Stat(victim); !os.IsNotExist(err) {
+		t.Fatal("verify -delete left the bad object")
+	}
+	res, err = Verify(s.Dir(), false)
+	if err != nil || res.Checked != 2 || len(res.Bad) != 0 {
+		t.Fatalf("verify after delete = %+v, %v", res, err)
+	}
+}
+
+func TestVerifyFlagsForeignAndMisfiledObjects(t *testing.T) {
+	s := openTest(t)
+	fill(t, s, 1)
+	good := objectFile(t, s, testKind, "a")
+	shard := filepath.Dir(good)
+
+	// A foreign file with a non-digest name.
+	if err := os.WriteFile(filepath.Join(shard, "README"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An intact object copied under the wrong shard.
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongShard := filepath.Join(filepath.Dir(shard), "zz")
+	if err := os.MkdirAll(wrongShard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(wrongShard, filepath.Base(good)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Verify(s.Dir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checked != 3 || len(res.Bad) != 2 {
+		t.Fatalf("verify = %+v", res)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"memdep/internal/experiments"
 	"memdep/internal/multiscalar"
 	"memdep/internal/program"
+	"memdep/internal/store"
 	"memdep/internal/workload"
 )
 
@@ -18,6 +19,8 @@ import (
 type Session struct {
 	eng      *engine.Engine
 	defaults Request
+	storeDir string
+	store    *store.Store
 }
 
 // Option configures a Session.
@@ -36,6 +39,19 @@ func WithDefaults(req Request) Option {
 	return func(s *Session) { s.defaults = req }
 }
 
+// WithStore layers a persistent, content-addressed result store rooted at
+// dir beneath the session's in-memory cache: simulation results, built
+// synthetic programs and preprocessed work items are read from disk on a
+// memory miss and written behind on a compute, so repeated identical runs --
+// across sessions, processes and CI jobs sharing the directory -- skip the
+// recomputation entirely.  Warm results are byte-identical to cold ones.
+// The directory is created on first write; corrupt or version-mismatched
+// entries degrade to misses, never to failures.  An empty dir disables the
+// store.
+func WithStore(dir string) Option {
+	return func(s *Session) { s.storeDir = dir }
+}
+
 // NewSession creates a session with a fresh engine and cache.  Construction
 // only applies the option closures; the context belongs to Run.
 //
@@ -48,6 +64,10 @@ func NewSession(opts ...Option) *Session {
 	if s.eng == nil {
 		s.eng = experiments.NewEngine(0)
 	}
+	if s.storeDir != "" {
+		s.store = store.Open(s.storeDir, store.DefaultCodecs()...)
+		s.eng.SetTier(s.store)
+	}
 	return s
 }
 
@@ -55,23 +75,77 @@ func NewSession(opts ...Option) *Session {
 type Stats struct {
 	// Workers is the worker-pool size.
 	Workers int `json:"workers"`
-	// Executed counts jobs actually computed (cache misses).
+	// Executed counts jobs actually computed (misses of every cache tier).
 	Executed uint64 `json:"executed"`
-	// Hits counts jobs served from the cache or deduplicated onto an
-	// in-flight computation.
+	// Hits counts jobs served from the in-memory cache or deduplicated onto
+	// an in-flight computation.
 	Hits uint64 `json:"hits"`
 	// CachedJobs is the number of memoized jobs.
 	CachedJobs int `json:"cached_jobs"`
+	// Store snapshots the persistent second-tier cache, when the session
+	// was opened with WithStore.
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreCounters is the disk-tier traffic of one kind (or in aggregate).
+type StoreCounters struct {
+	// Hits counts results served from an intact on-disk object.
+	Hits uint64 `json:"hits"`
+	// Misses counts loads that found no current-version object.
+	Misses uint64 `json:"misses"`
+	// Bypassed counts loads of memory-only kinds (no codec registered).
+	Bypassed uint64 `json:"bypassed"`
+	// Corrupt counts undecodable objects, degraded to misses and rewritten.
+	Corrupt uint64 `json:"corrupt"`
+	// Writes counts results persisted behind the computation.
+	Writes uint64 `json:"writes"`
+	// WriteErrors counts failed persists (the result itself is unaffected).
+	WriteErrors uint64 `json:"write_errors"`
+}
+
+// StoreStats is a snapshot of the persistent store's counters: the aggregate
+// traffic since the session opened plus the same counters split by job kind.
+type StoreStats struct {
+	// Dir is the store's root directory.
+	Dir string `json:"dir"`
+	// Counters aggregates the disk-tier traffic across kinds.
+	Counters StoreCounters `json:"counters"`
+	// Kinds splits the same counters by job kind.
+	Kinds map[string]StoreCounters `json:"kinds,omitempty"`
+}
+
+// storeCounters mirrors the internal counter snapshot into the public shape.
+func storeCounters(c store.Counters) StoreCounters {
+	return StoreCounters{
+		Hits:        c.Hits,
+		Misses:      c.Misses,
+		Bypassed:    c.Bypassed,
+		Corrupt:     c.Corrupt,
+		Writes:      c.Writes,
+		WriteErrors: c.WriteErrors,
+	}
 }
 
 // Stats returns a snapshot of the session's engine counters.
 func (s *Session) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Workers:    s.eng.Workers(),
 		Executed:   s.eng.Executed(),
 		Hits:       s.eng.Hits(),
 		CachedJobs: s.eng.CacheLen(),
 	}
+	if s.store != nil {
+		kinds := make(map[string]StoreCounters)
+		for kind, c := range s.store.KindCounters() { //lint:deterministic map-to-map copy, order-insensitive
+			kinds[kind] = storeCounters(c)
+		}
+		st.Store = &StoreStats{
+			Dir:      s.store.Dir(),
+			Counters: storeCounters(s.store.Counters()),
+			Kinds:    kinds,
+		}
+	}
+	return st
 }
 
 // overlay fills the zero fields of req from the session defaults.

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// storeTestReqs is a small grid over a synthetic workload: every persisted
+// kind (synth/build, multiscalar/preprocess, multiscalar/simulate) is
+// exercised, and two policies share one workload so the in-memory tier
+// still does its own deduplication on top of the disk tier.
+func storeTestReqs() []Request {
+	spec := &SynthSpec{Seed: 1, Ops: 2048}
+	return []Request{
+		{Synth: spec, Stages: 4, Policy: PolicyAlways},
+		{Synth: spec, Stages: 4, Policy: PolicyESync},
+	}
+}
+
+// TestStoreWarmRunRecomputesNothing is the end-to-end contract of the
+// persistent store: a second session pointed at the same directory executes
+// zero jobs -- simulation, preprocessing and program building all come from
+// disk -- and its results are deeply equal to the cold run's.
+func TestStoreWarmRunRecomputesNothing(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	reqs := storeTestReqs()
+
+	cold := NewSession(WithStore(dir))
+	coldResults, err := cold.RunGrid(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldStats := cold.Stats()
+	if coldStats.Executed == 0 {
+		t.Fatal("cold run executed nothing")
+	}
+	if coldStats.Store == nil {
+		t.Fatal("cold run has no store stats")
+	}
+	if w := coldStats.Store.Counters.Writes; w == 0 {
+		t.Fatalf("cold run persisted nothing: %+v", coldStats.Store.Counters)
+	}
+	if coldStats.Store.Counters.Hits != 0 {
+		t.Fatalf("cold run hit the empty store: %+v", coldStats.Store.Counters)
+	}
+
+	warm := NewSession(WithStore(dir))
+	warmResults, err := warm.RunGrid(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmStats := warm.Stats()
+	if warmStats.Executed != 0 {
+		t.Fatalf("warm run executed %d jobs, want 0 (everything from disk)", warmStats.Executed)
+	}
+	sc := warmStats.Store.Counters
+	if sc.Hits == 0 || sc.Misses != 0 || sc.Corrupt != 0 {
+		t.Fatalf("warm counters = %+v, want all-hit", sc)
+	}
+	// Every persisted kind must have contributed hits.
+	for _, kind := range []string{"synth/build", "multiscalar/preprocess", "multiscalar/simulate"} {
+		if kc := warmStats.Store.Kinds[kind]; kc.Hits == 0 {
+			t.Errorf("kind %s: no disk hits (%+v)", kind, kc)
+		}
+	}
+
+	// Warm results are indistinguishable from cold ones.
+	if !reflect.DeepEqual(warmResults, coldResults) {
+		t.Fatal("warm results differ from cold results")
+	}
+}
+
+// TestStoreSurvivesCorruptObjects damages every object on disk; a third run
+// must degrade to recomputation (correct results, corrupt counters bumped)
+// and repair the store for the run after it.
+func TestStoreSurvivesCorruptObjects(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	reqs := storeTestReqs()
+
+	cold := NewSession(WithStore(dir))
+	want, err := cold.RunGrid(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate every object to garbage.
+	damaged := 0
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		damaged++
+		return os.WriteFile(path, []byte("MDSO"), 0o644)
+	})
+	if err != nil || damaged == 0 {
+		t.Fatalf("damaged %d objects, err %v", damaged, err)
+	}
+
+	hurt := NewSession(WithStore(dir))
+	got, err := hurt.RunGrid(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("results after corruption differ")
+	}
+	st := hurt.Stats()
+	if st.Store.Counters.Corrupt == 0 {
+		t.Fatalf("corrupt objects not counted: %+v", st.Store.Counters)
+	}
+	if st.Executed == 0 {
+		t.Fatal("corrupted store cannot serve hits, jobs must recompute")
+	}
+
+	// The recomputation rewrote the objects: the next session is warm again.
+	healed := NewSession(WithStore(dir))
+	if _, err := healed.RunGrid(ctx, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if ex := healed.Stats().Executed; ex != 0 {
+		t.Fatalf("store not repaired: healed run executed %d jobs", ex)
+	}
+}
+
+// TestStoreDisabledByDefault pins the opt-in: without WithStore, Stats
+// reports no store and nothing lands on disk.
+func TestStoreDisabledByDefault(t *testing.T) {
+	s := NewSession()
+	if _, err := s.Run(context.Background(), storeTestReqs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Store != nil {
+		t.Fatal("store stats present without WithStore")
+	}
+}
+
+// TestStoreSharedAcrossSessionsConcurrently runs two sessions against the
+// same directory at once (the cross-process race, in-process); run under
+// -race in CI.
+func TestStoreSharedAcrossSessionsConcurrently(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	reqs := storeTestReqs()
+
+	done := make(chan []*Result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			s := NewSession(WithStore(dir))
+			res, err := s.RunGrid(ctx, reqs)
+			if err != nil {
+				t.Error(err)
+				done <- nil
+				return
+			}
+			done <- res
+		}()
+	}
+	a, b := <-done, <-done
+	if a == nil || b == nil {
+		t.Fatal("a racing session failed")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("racing sessions disagree on results")
+	}
+}
