@@ -1,0 +1,26 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestOperationsDocCoversLoadFlags asserts every memdep-load flag is
+// documented in docs/OPERATIONS.md, so the harness's surface cannot drift
+// out of the operator guide.
+func TestOperationsDocCoversLoadFlags(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	fs, _ := newFlagSet()
+	fs.VisitAll(func(f *flag.Flag) {
+		if !strings.Contains(doc, "`-"+f.Name+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document memdep-load -%s", f.Name)
+		}
+	})
+}

@@ -1,0 +1,379 @@
+// Command memdep-load drives synthetic request mixes against running
+// memdep-server deployments -- standalone servers or coordinator-fronted
+// fleets, which serve the same API -- and records latency and throughput.
+//
+// Each -target NAME=URL names one deployment; the same workload runs
+// against every target in order, and each later target's throughput is
+// reported as a ratio over the first, so a fleet can be compared against a
+// standalone baseline in one invocation:
+//
+//	memdep-load -mode grid -cells 256 \
+//	    -target standalone=http://127.0.0.1:8080 \
+//	    -target fleet=http://127.0.0.1:9090 \
+//	    -out BENCH_fleet.json
+//
+// Modes:
+//
+//   - grid: one streaming POST /v1/grid of -cells synthetic cells (distinct
+//     seeds, a small stage/policy mix); records wall time, time to first
+//     streamed cell, and cells/second.
+//   - simulate: -requests individual POST /v1/simulate calls from
+//     -concurrency workers; records p50/p99/mean/max latency and
+//     requests/second.
+//
+// Every cell is a distinct seed derived from -seed, so a run computes real
+// work instead of replaying one memoized result.  Repeating an invocation
+// against the same server re-measures warm caches; pick a fresh -seed for
+// cold numbers.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// target is one deployment under test.
+type target struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// targetsFlag collects repeated -target NAME=URL flags.
+type targetsFlag []target
+
+// String renders the accumulated flags for -help.
+func (f *targetsFlag) String() string {
+	parts := make([]string, len(*f))
+	for i, t := range *f {
+		parts[i] = t.Name + "=" + t.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses one NAME=URL occurrence.
+func (f *targetsFlag) Set(s string) error {
+	name, url, ok := strings.Cut(s, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want NAME=URL, got %q", s)
+	}
+	*f = append(*f, target{Name: name, URL: url})
+	return nil
+}
+
+// latencyStats summarizes per-request latencies in milliseconds.
+type latencyStats struct {
+	P50  float64 `json:"p50_ms"`
+	P99  float64 `json:"p99_ms"`
+	Mean float64 `json:"mean_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+// targetReport is one target's measured results for one mode.
+type targetReport struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// Mode is the workload shape this entry measured (grid or simulate).
+	Mode string `json:"mode"`
+	// OK and Errors count request (or cell) outcomes.
+	OK     int `json:"ok"`
+	Errors int `json:"errors"`
+	// WallMS is the wall-clock duration of the whole run.
+	WallMS float64 `json:"wall_ms"`
+	// Throughput is requests (simulate mode) or cells (grid mode) per second.
+	Throughput float64 `json:"throughput_per_second"`
+	// FirstCellMS is the time to the first streamed cell (grid mode only):
+	// the streaming win is FirstCellMS << WallMS.
+	FirstCellMS float64 `json:"first_cell_ms,omitempty"`
+	// Latency summarizes per-request latency (simulate mode only).
+	Latency *latencyStats `json:"latency,omitempty"`
+	// ThroughputVsFirst is this target's throughput over the first target's
+	// in the same mode (1 for the first target itself).
+	ThroughputVsFirst float64 `json:"throughput_vs_first,omitempty"`
+}
+
+// report is the JSON document memdep-load writes.
+type report struct {
+	Go          string `json:"go"`
+	MaxProcs    int    `json:"maxprocs"`
+	HostCPUs    int    `json:"host_cpus"`
+	Mode        string `json:"mode"`
+	Cells       int    `json:"cells,omitempty"`
+	Requests    int    `json:"requests,omitempty"`
+	Concurrency int    `json:"concurrency,omitempty"`
+	Ops         int    `json:"ops"`
+	Seed        int    `json:"seed"`
+	// Note carries free-form provenance (host caveats and the like).
+	Note    string         `json:"note,omitempty"`
+	Targets []targetReport `json:"targets"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// config collects the parsed flag values.
+type config struct {
+	targets     targetsFlag
+	mode        string
+	cells       int
+	requests    int
+	concurrency int
+	ops         int
+	seed        int
+	out         string
+	note        string
+	timeout     time.Duration
+}
+
+// newFlagSet declares the full flag surface; the docs tests enumerate it to
+// hold docs/OPERATIONS.md to account.
+func newFlagSet() (*flag.FlagSet, *config) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("memdep-load", flag.ContinueOnError)
+	fs.Var(&cfg.targets, "target", "deployment under test as NAME=URL (repeatable; the first is the ratio baseline; default server=http://127.0.0.1:8080)")
+	fs.StringVar(&cfg.mode, "mode", "grid", "workload shape: grid (one streaming /v1/grid), simulate (individual /v1/simulate calls) or both")
+	fs.IntVar(&cfg.cells, "cells", 64, "grid cells per run (grid mode)")
+	fs.IntVar(&cfg.requests, "requests", 64, "total requests per run (simulate mode)")
+	fs.IntVar(&cfg.concurrency, "concurrency", 8, "concurrent in-flight requests (simulate mode)")
+	fs.IntVar(&cfg.ops, "ops", 20000, "dynamic instructions per synthetic cell")
+	fs.IntVar(&cfg.seed, "seed", 1, "base seed; cell i uses seed+i, so every cell is distinct work")
+	fs.StringVar(&cfg.out, "out", "", "write the JSON report here instead of stdout")
+	fs.StringVar(&cfg.note, "note", "", "free-form provenance note recorded in the report (e.g. host caveats)")
+	fs.DurationVar(&cfg.timeout, "timeout", 10*time.Minute, "per-target run timeout")
+	return fs, cfg
+}
+
+// run is main with its environment injected, so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs, cfg := newFlagSet()
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(cfg.targets) == 0 {
+		cfg.targets = targetsFlag{{Name: "server", URL: "http://127.0.0.1:8080"}}
+	}
+	modes := []string{cfg.mode}
+	switch cfg.mode {
+	case "grid", "simulate":
+	case "both":
+		modes = []string{"grid", "simulate"}
+	default:
+		fmt.Fprintf(stderr, "memdep-load: unknown -mode %q (want grid, simulate or both)\n", cfg.mode)
+		return 2
+	}
+
+	rep := report{
+		Go:       runtime.Version(),
+		MaxProcs: runtime.GOMAXPROCS(0),
+		HostCPUs: runtime.NumCPU(),
+		Mode:     cfg.mode,
+		Ops:      cfg.ops,
+		Seed:     cfg.seed,
+		Note:     cfg.note,
+	}
+	client := &http.Client{Timeout: cfg.timeout}
+	baseline := map[string]float64{} // first target's throughput, per mode
+	for _, tgt := range cfg.targets {
+		for _, m := range modes {
+			var tr targetReport
+			var err error
+			switch m {
+			case "grid":
+				rep.Cells = cfg.cells
+				tr, err = runGrid(client, tgt, cfg.cells, cfg.ops, cfg.seed)
+			case "simulate":
+				rep.Requests = cfg.requests
+				rep.Concurrency = cfg.concurrency
+				// Offset past the grid cells' seed range so in -mode both the
+				// simulate phase computes fresh work instead of replaying the
+				// grid's memoized results.
+				tr, err = runSimulate(client, tgt, cfg.requests, cfg.concurrency, cfg.ops, cfg.seed+cfg.cells)
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "memdep-load: target %s (%s): %v\n", tgt.Name, m, err)
+				return 1
+			}
+			tr.Mode = m
+			if base, ok := baseline[m]; !ok {
+				baseline[m] = tr.Throughput
+				tr.ThroughputVsFirst = 1
+			} else if base > 0 {
+				tr.ThroughputVsFirst = tr.Throughput / base
+			}
+			rep.Targets = append(rep.Targets, tr)
+			fmt.Fprintf(stderr, "[memdep-load] %s %s: %.1f/s over %.0fms (%d ok, %d errors)\n",
+				tgt.Name, m, tr.Throughput, tr.WallMS, tr.OK, tr.Errors)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	data = append(data, '\n')
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, data, 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	stdout.Write(data) //nolint:errcheck
+	return 0
+}
+
+// cellBody builds the i-th synthetic request of the mix: a distinct seed
+// and a small rotation of stage counts and speculation policies, so the
+// fleet sees heterogeneous configurations rather than one repeated shape.
+func cellBody(seed, i, ops int) string {
+	stages := []int{4, 8}[i%2]
+	policy := []string{"ESYNC", "ALWAYS"}[(i/2)%2]
+	return fmt.Sprintf(`{"synth":{"seed":%d,"ops":%d},"stages":%d,"policy":%q}`, seed+i, ops, stages, policy)
+}
+
+// runGrid measures one streaming grid against the target.
+func runGrid(client *http.Client, tgt target, cells, ops, seed int) (targetReport, error) {
+	tr := targetReport{Name: tgt.Name, URL: tgt.URL}
+	bodies := make([]string, cells)
+	for i := range bodies {
+		bodies[i] = cellBody(seed, i, ops)
+	}
+	body := `{"requests":[` + strings.Join(bodies, ",") + `],"stream":true}`
+
+	start := time.Now()
+	resp, err := client.Post(tgt.URL+"/v1/grid", "application/json", strings.NewReader(body))
+	if err != nil {
+		return tr, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return tr, fmt.Errorf("grid returned %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec struct {
+			Index   *int            `json:"index"`
+			Error   string          `json:"error"`
+			Summary json.RawMessage `json:"summary"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return tr, fmt.Errorf("bad stream line %q: %v", line, err)
+		}
+		switch {
+		case rec.Summary != nil:
+			sawSummary = true
+		case rec.Error != "":
+			tr.Errors++
+		default:
+			if tr.OK == 0 && tr.Errors == 0 {
+				tr.FirstCellMS = ms(time.Since(start))
+			}
+			tr.OK++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return tr, err
+	}
+	if !sawSummary {
+		return tr, fmt.Errorf("stream ended without a summary record")
+	}
+	tr.WallMS = ms(time.Since(start))
+	if tr.WallMS > 0 {
+		tr.Throughput = float64(tr.OK+tr.Errors) / (tr.WallMS / 1000)
+	}
+	return tr, nil
+}
+
+// runSimulate measures individual simulate calls from a worker pool.
+func runSimulate(client *http.Client, tgt target, requests, concurrency, ops, seed int) (targetReport, error) {
+	tr := targetReport{Name: tgt.Name, URL: tgt.URL}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	latencies := make([]time.Duration, requests)
+	errs := make([]bool, requests)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t0 := time.Now()
+				resp, err := client.Post(tgt.URL+"/v1/simulate", "application/json",
+					strings.NewReader(cellBody(seed, i, ops)))
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					errs[i] = true
+					continue
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				errs[i] = resp.StatusCode != http.StatusOK
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	tr.WallMS = ms(time.Since(start))
+
+	for _, bad := range errs {
+		if bad {
+			tr.Errors++
+		} else {
+			tr.OK++
+		}
+	}
+	if tr.WallMS > 0 {
+		tr.Throughput = float64(requests) / (tr.WallMS / 1000)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sum time.Duration
+	for _, d := range latencies {
+		sum += d
+	}
+	tr.Latency = &latencyStats{
+		P50:  ms(percentile(latencies, 0.50)),
+		P99:  ms(percentile(latencies, 0.99)),
+		Mean: ms(sum / time.Duration(len(latencies))),
+		Max:  ms(latencies[len(latencies)-1]),
+	}
+	return tr, nil
+}
+
+// percentile reads the p-th percentile from sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

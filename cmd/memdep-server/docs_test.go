@@ -1,0 +1,98 @@
+package main
+
+// Docs-freshness tests: the documented surface is generated from the same
+// tables the server actually serves (serverRoutes, fleet.CoordinatorRoutes,
+// newFlagSet), so a route or flag added without documentation fails CI.
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memdep/internal/fleet"
+	"memdep/sim"
+)
+
+// repoFile reads a file relative to the repository root.
+func repoFile(t *testing.T, rel string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", rel))
+	if err != nil {
+		t.Fatalf("reading %s: %v", rel, err)
+	}
+	return string(data)
+}
+
+// TestAPIDocCoversServerRoutes asserts every route any role serves appears
+// in docs/API.md as a literal `METHOD /path` string.
+func TestAPIDocCoversServerRoutes(t *testing.T) {
+	doc := repoFile(t, filepath.Join("docs", "API.md"))
+	seen := map[string]bool{}
+	for _, r := range append(serverRoutes(), fleet.CoordinatorRoutes()...) {
+		key := fmt.Sprintf("`%s %s`", r.Method, r.Pattern)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if !strings.Contains(doc, key) {
+			t.Errorf("docs/API.md does not document %s", key)
+		}
+	}
+}
+
+// TestServerServesDeclaredRoutes asserts the standalone handler actually
+// serves every route serverRoutes declares: no dead documentation, no
+// undeclared handler.
+func TestServerServesDeclaredRoutes(t *testing.T) {
+	ts := httptest.NewServer(newHandler(sim.NewSession(), nil))
+	defer ts.Close()
+	for _, r := range serverRoutes() {
+		req, err := http.NewRequest(r.Method, ts.URL+r.Pattern, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", r.Method, r.Pattern, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, the declared route is not served", r.Method, r.Pattern, resp.StatusCode)
+		}
+	}
+}
+
+// TestREADMECoversCommands asserts every cmd/ binary is mentioned in the
+// README's command overview.
+func TestREADMECoversCommands(t *testing.T) {
+	readme := repoFile(t, "README.md")
+	entries, err := os.ReadDir(filepath.Join("..", "..", "cmd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !strings.Contains(readme, e.Name()) {
+			t.Errorf("README.md does not mention cmd/%s", e.Name())
+		}
+	}
+}
+
+// TestOperationsDocCoversServerFlags asserts every memdep-server flag is
+// documented in docs/OPERATIONS.md.
+func TestOperationsDocCoversServerFlags(t *testing.T) {
+	doc := repoFile(t, filepath.Join("docs", "OPERATIONS.md"))
+	fs, _ := newFlagSet()
+	fs.VisitAll(func(f *flag.Flag) {
+		if !strings.Contains(doc, "`-"+f.Name+"`") {
+			t.Errorf("docs/OPERATIONS.md does not document memdep-server -%s", f.Name)
+		}
+	})
+}

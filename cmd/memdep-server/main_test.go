@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"memdep/internal/fleet"
 	"memdep/sim"
 )
 
@@ -23,7 +24,7 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newHandler(sim.NewSession(sim.WithWorkers(2))))
+	ts := httptest.NewServer(newHandler(sim.NewSession(sim.WithWorkers(2)), nil))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -164,7 +165,7 @@ func TestMalformedRequests(t *testing.T) {
 	if status, _ := do(t, "POST", ts.URL+"/v1/grid", `{"requests":[]}`); status != http.StatusBadRequest {
 		t.Errorf("empty grid: status = %d", status)
 	}
-	big := `{"requests":[` + strings.Repeat(`{"bench":"compress"},`, maxGridRequests) + `{"bench":"compress"}]}`
+	big := `{"requests":[` + strings.Repeat(`{"bench":"compress"},`, fleet.MaxGridRequests) + `{"bench":"compress"}]}`
 	if status, _ := do(t, "POST", ts.URL+"/v1/grid", big); status != http.StatusBadRequest {
 		t.Errorf("oversized grid: status = %d", status)
 	}
@@ -250,7 +251,7 @@ func TestGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &http.Server{Handler: newHandler(sim.NewSession(sim.WithWorkers(2)))}
+	srv := &http.Server{Handler: newHandler(sim.NewSession(sim.WithWorkers(2)), nil)}
 	served := make(chan error, 1)
 	go func() { served <- srv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
@@ -384,7 +385,7 @@ func TestStatz(t *testing.T) {
 	req := `{"synth":{"seed":3,"ops":2048},"stages":4,"policy":"ESYNC"}`
 	storeServer := func() (*httptest.Server, func() sim.Stats) {
 		session := sim.NewSession(sim.WithWorkers(2), sim.WithStore(dir))
-		s := httptest.NewServer(newHandler(session))
+		s := httptest.NewServer(newHandler(session, nil))
 		t.Cleanup(s.Close)
 		return s, session.Stats
 	}

@@ -6,7 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
+	"time"
 
+	"memdep/internal/fleet"
 	"memdep/sim"
 )
 
@@ -16,6 +20,10 @@ import (
 // client cancels its in-flight simulation.
 type server struct {
 	session *sim.Session
+	// limiter bounds admitted simulate/grid requests; nil (the default when
+	// -max-inflight is unset) admits everything, preserving the historical
+	// standalone behavior byte for byte.
+	limiter *fleet.Limiter
 }
 
 // errorResponse is the JSON shape of every non-2xx response.
@@ -29,9 +37,12 @@ type errorResponse struct {
 // gridRequest is the body of POST /v1/grid.
 type gridRequest struct {
 	Requests []sim.Request `json:"requests"`
+	// Stream requests NDJSON output: one cell per line as it completes,
+	// then a summary record (equivalent to Accept: application/x-ndjson).
+	Stream bool `json:"stream,omitempty"`
 }
 
-// gridResponse is the response of POST /v1/grid.
+// gridResponse is the response of a buffered POST /v1/grid.
 type gridResponse struct {
 	Results []*sim.Result `json:"results"`
 	// Stats snapshots the session cache after the grid ran.
@@ -54,11 +65,26 @@ type healthResponse struct {
 // do not double as liveness probes.
 type statzResponse struct {
 	Stats sim.Stats `json:"stats"`
+	// Admission snapshots the limiter when one is configured.
+	Admission *fleet.LimiterStats `json:"admission,omitempty"`
 }
 
-// newHandler builds the route table.
-func newHandler(s *sim.Session) http.Handler {
-	srv := &server{session: s}
+// serverRoutes lists every endpoint a standalone or worker server serves;
+// the docs tests assert each one appears in docs/API.md and answers
+// requests.  Coordinator routes live in fleet.CoordinatorRoutes.
+func serverRoutes() []fleet.Route {
+	return []fleet.Route{
+		{Method: "POST", Pattern: "/v1/simulate"},
+		{Method: "POST", Pattern: "/v1/grid"},
+		{Method: "GET", Pattern: "/v1/benchmarks"},
+		{Method: "GET", Pattern: "/v1/healthz"},
+		{Method: "GET", Pattern: "/v1/statz"},
+	}
+}
+
+// newHandler builds the route table; the routes are exactly serverRoutes.
+func newHandler(s *sim.Session, limiter *fleet.Limiter) http.Handler {
+	srv := &server{session: s, limiter: limiter}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", srv.handleSimulate)
 	mux.HandleFunc("POST /v1/grid", srv.handleGrid)
@@ -78,13 +104,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError maps an error to its HTTP shape: validation failures are 400s
-// with structured fields, cancellations mean the client has gone away, and
-// everything else is a 500.
+// with structured fields, overload is a 429 with Retry-After, cancellations
+// mean the client has gone away, and everything else is a 500.
 func writeError(w http.ResponseWriter, err error) {
 	var verr *sim.ValidationError
+	var oerr *fleet.OverloadError
 	switch {
 	case errors.As(err, &verr):
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Fields: verr.Fields})
+	case errors.As(err, &oerr):
+		w.Header().Set("Retry-After", strconv.Itoa(int(oerr.RetryAfter.Seconds())))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// The request context died: the response writer is dead too, but
 		// flush a status for the tests and any proxy still listening.
@@ -98,10 +128,6 @@ func writeError(w http.ResponseWriter, err error) {
 // grid of requests) is a few kilobytes, so 1 MiB is generous headroom while
 // keeping a hostile body from buffering unbounded memory.
 const maxBodyBytes = 1 << 20
-
-// maxGridRequests bounds one /v1/grid call; larger studies should be split
-// into several grids (they still share the session cache).
-const maxGridRequests = 1024
 
 // decodeBody decodes a JSON request body strictly: the size is capped and
 // unknown fields are rejected, so typos in configuration names fail loudly
@@ -122,6 +148,12 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	release, err := s.limiter.Acquire(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
 	res, err := s.session.Run(r.Context(), req)
 	if err != nil {
 		writeError(w, err)
@@ -131,29 +163,26 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleGrid runs a request grid as one job set: POST /v1/grid
-// {"requests": [...]}.
+// {"requests": [...]}.  Buffered (the default) is all-or-nothing; with
+// "stream": true or Accept: application/x-ndjson, each cell is written as
+// an NDJSON line the moment it completes, ending with a summary record.
 func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	var req gridRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if len(req.Requests) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: "invalid request: requests: at least one request is required",
-			Fields: []sim.FieldError{
-				{Field: "requests", Msg: "at least one request is required"},
-			},
-		})
+	if ok, errResp := fleet.CheckGridShape(len(req.Requests)); !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: errResp.Error, Fields: errResp.Fields})
 		return
 	}
-	if len(req.Requests) > maxGridRequests {
-		writeJSON(w, http.StatusBadRequest, errorResponse{
-			Error: fmt.Sprintf("invalid request: requests: a grid is limited to %d requests", maxGridRequests),
-			Fields: []sim.FieldError{
-				{Field: "requests", Value: fmt.Sprint(len(req.Requests)),
-					Msg: fmt.Sprintf("a grid is limited to %d requests", maxGridRequests)},
-			},
-		})
+	release, err := s.limiter.Acquire(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	if req.Stream || fleet.WantsStream(r) {
+		s.streamGrid(w, r, req.Requests)
 		return
 	}
 	results, err := s.session.RunGrid(r.Context(), req.Requests)
@@ -162,6 +191,65 @@ func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, gridResponse{Results: results, Stats: s.session.Stats()})
+}
+
+// streamGrid runs the cells concurrently on the shared session and writes
+// each result as it lands.  Unlike the buffered mode, cell failures are
+// per-line, not fatal: a grid with one invalid cell still streams the
+// other results, and the trailing summary counts both.
+func (s *server) streamGrid(w http.ResponseWriter, r *http.Request, reqs []sim.Request) {
+	sw := fleet.NewStreamWriter(w)
+	start := time.Now()
+	fanout := s.session.Stats().Workers
+	if fanout < 1 {
+		fanout = 1
+	}
+	sem := make(chan struct{}, fanout)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	ok, failed := 0, 0
+	ctx := r.Context()
+	for i := range reqs {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cell := fleet.GridCell{Index: i}
+			res, err := s.session.Run(ctx, reqs[i])
+			if err != nil {
+				cell.Error = err.Error()
+				var verr *sim.ValidationError
+				if errors.As(err, &verr) {
+					cell.Fields = verr.Fields
+				}
+			} else if data, merr := json.Marshal(res); merr != nil {
+				cell.Error = merr.Error()
+			} else {
+				cell.Result = data
+			}
+			mu.Lock()
+			if cell.Error == "" {
+				ok++
+			} else {
+				failed++
+			}
+			mu.Unlock()
+			sw.Write(cell) //nolint:errcheck // a dead client cancels the context
+		}(i)
+	}
+	wg.Wait()
+	stats := s.session.Stats()
+	sw.Write(fleet.GridSummaryLine{Summary: fleet.GridSummary{ //nolint:errcheck
+		Cells:     len(reqs),
+		OK:        ok,
+		Errors:    failed,
+		ElapsedMS: time.Since(start).Milliseconds(),
+		Stats:     &stats,
+	}})
 }
 
 // handleBenchmarks lists the workload suite: GET /v1/benchmarks.
@@ -177,5 +265,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleStatz reports the full session stats, the persistent store's
 // per-kind hit/miss/bypass/corrupt counters included: GET /v1/statz.
 func (s *server) handleStatz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statzResponse{Stats: s.session.Stats()})
+	resp := statzResponse{Stats: s.session.Stats()}
+	if s.limiter != nil {
+		ls := s.limiter.Stats()
+		resp.Admission = &ls
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,260 @@
+// Package exporteddoc defines an analyzer that enforces doc comments on the
+// repo's public API surface.
+//
+// `go doc memdep/sim` is the first thing a new user reads, and PR 10 turned
+// the doc surface into a contract: docs/API.md documents the HTTP surface,
+// and this rule keeps the in-source reference complete.  For the configured
+// packages it requires
+//
+//   - a package comment on some file of the package,
+//   - a doc comment on every exported type, function, method (of an exported
+//     receiver), constant and variable -- a doc comment on a grouped
+//     const/var declaration covers the whole group, and
+//   - a doc or trailing line comment on every exported field of an exported
+//     struct.
+//
+// Type, function and method comments must start with the identifier they
+// document (an "A", "An" or "The" article prefix is accepted), matching the
+// convention godoc renders best.  A declaration that is deliberately
+// undocumented carries a //lint:nodoc justification on the line above it.
+package exporteddoc
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"memdep/internal/analysis/directive"
+)
+
+// DefaultPackages is the documented-surface package set the rule applies to
+// by default: the public facade and the fleet layer its server exposes.
+const DefaultPackages = "memdep/sim,memdep/internal/fleet"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "exporteddoc",
+	Doc:  "flags exported identifiers without doc comments in the public-surface packages unless the site carries a //lint:nodoc justification",
+	Run:  run,
+}
+
+var pkgsFlag string
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgsFlag, "pkgs", DefaultPackages, "comma-separated import paths the rule applies to")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !applies(pass.Pkg.Path(), pkgsFlag) {
+		return nil, nil
+	}
+	dirs := directive.New(pass.Fset, pass.Files)
+
+	checkPackageDoc(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, dirs, d)
+			case *ast.GenDecl:
+				checkGenDecl(pass, dirs, d)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkPackageDoc requires a package comment on at least one non-test file;
+// without one, `go doc <pkg>` opens with a blank synopsis.  The diagnostic
+// lands on the alphabetically first file so it is stable across runs.
+func checkPackageDoc(pass *analysis.Pass) {
+	var first *ast.File
+	firstName := ""
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return
+		}
+		name := pass.Fset.Position(f.Package).Filename
+		if first == nil || name < firstName {
+			first, firstName = f, name
+		}
+	}
+	if first != nil {
+		pass.Reportf(first.Name.Pos(), "package %s has no package comment; add one so go doc shows a synopsis", pass.Pkg.Name())
+	}
+}
+
+// checkFunc requires a doc comment on exported functions and on exported
+// methods of exported receiver types.
+func checkFunc(pass *analysis.Pass, dirs *directive.Index, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || dirs.Has(d.Pos(), "lint:nodoc") {
+		return
+	}
+	kind, label := "function", d.Name.Name
+	if d.Recv != nil {
+		recv := receiverName(d.Recv)
+		if recv == "" || !token.IsExported(recv) {
+			return
+		}
+		kind, label = "method", recv+"."+d.Name.Name
+	}
+	reportDoc(pass, dirs, d.Pos(), d.Doc, kind, label, d.Name.Name)
+}
+
+// checkGenDecl dispatches a type, const or var declaration.  For grouped
+// const/var blocks, a doc comment on the group documents every member.
+func checkGenDecl(pass *analysis.Pass, dirs *directive.Index, d *ast.GenDecl) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if !ts.Name.IsExported() {
+				continue
+			}
+			doc := ts.Doc
+			if doc == nil && len(d.Specs) == 1 {
+				doc = d.Doc
+			}
+			pos := ts.Pos()
+			if len(d.Specs) == 1 {
+				pos = d.Pos()
+			}
+			if !dirs.Has(pos, "lint:nodoc") {
+				reportDoc(pass, dirs, pos, doc, "type", ts.Name.Name, ts.Name.Name)
+			}
+			if st, ok := ts.Type.(*ast.StructType); ok {
+				checkFields(pass, dirs, ts.Name.Name, st)
+			}
+		}
+	case token.CONST, token.VAR:
+		if d.Doc != nil && strings.TrimSpace(d.Doc.Text()) != "" {
+			return
+		}
+		if dirs.Has(d.Pos(), "lint:nodoc") {
+			return
+		}
+		kind := "const"
+		if d.Tok == token.VAR {
+			kind = "var"
+		}
+		for _, spec := range d.Specs {
+			vs := spec.(*ast.ValueSpec)
+			if hasText(vs.Doc) || hasText(vs.Comment) || dirs.Has(vs.Pos(), "lint:nodoc") {
+				continue
+			}
+			for _, name := range vs.Names {
+				if name.IsExported() {
+					pass.Reportf(vs.Pos(), "exported %s %s has no doc comment; document it or annotate //lint:nodoc", kind, name.Name)
+					break
+				}
+			}
+		}
+	}
+}
+
+// checkFields requires a doc or trailing comment on every exported field of
+// an exported struct: godoc renders both, and an undocumented field is the
+// part of the API most likely to be guessed at.
+func checkFields(pass *analysis.Pass, dirs *directive.Index, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if hasText(field.Doc) || hasText(field.Comment) || dirs.Has(field.Pos(), "lint:nodoc") {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				pass.Reportf(field.Pos(), "exported field %s of %s has no doc comment; document it or annotate //lint:nodoc", name.Name, typeName)
+				break
+			}
+		}
+		// Exported embedded fields promote API surface too, but naming them is
+		// the embedded type's job; they are not required to re-document it.
+	}
+}
+
+// reportDoc reports a missing doc comment, or one whose first word is not the
+// identifier (articles allowed), on the declaration at pos.
+func reportDoc(pass *analysis.Pass, dirs *directive.Index, pos token.Pos, doc *ast.CommentGroup, kind, label, name string) {
+	if !hasText(doc) {
+		pass.Reportf(pos, "exported %s %s has no doc comment; document it or annotate //lint:nodoc", kind, label)
+		return
+	}
+	if !startsWithName(doc, name) {
+		pass.Reportf(pos, "doc comment for %s %s should start with %q", kind, label, name)
+	}
+}
+
+// startsWithName reports whether the doc comment's first word is name,
+// optionally preceded by an article, the form godoc links and `go doc`
+// searches work best with.  Deprecated markers are accepted as-is.
+func startsWithName(doc *ast.CommentGroup, name string) bool {
+	words := strings.Fields(doc.Text())
+	if len(words) == 0 {
+		return false
+	}
+	if words[0] == name || words[0] == "Deprecated:" {
+		return true
+	}
+	switch words[0] {
+	case "A", "An", "The":
+		return len(words) > 1 && words[1] == name
+	}
+	return false
+}
+
+// receiverName extracts the receiver's type name, unwrapping pointers and
+// generic instantiations.
+func receiverName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// hasText reports whether the comment group carries any prose.  Directive
+// comments do not count (CommentGroup.Text strips them), and neither do the
+// analyzer test harness's own "want" expectations, which occupy the
+// trailing-comment position this rule inspects on fields and value specs.
+func hasText(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	text := strings.TrimSpace(cg.Text())
+	if strings.HasPrefix(text, "want `") || strings.HasPrefix(text, `want "`) {
+		return false
+	}
+	return text != ""
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+func applies(path, pkgs string) bool {
+	for _, p := range strings.Split(pkgs, ",") {
+		if path == strings.TrimSpace(p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,36 @@
+package exporteddoc_test
+
+import (
+	"testing"
+
+	"memdep/internal/analysis/analyzertest"
+	"memdep/internal/analysis/exporteddoc"
+)
+
+func TestExporteddoc(t *testing.T) {
+	if err := exporteddoc.Analyzer.Flags.Set("pkgs", "a"); err != nil {
+		t.Fatal(err)
+	}
+	defer exporteddoc.Analyzer.Flags.Set("pkgs", exporteddoc.DefaultPackages)
+	analyzertest.Run(t, ".", exporteddoc.Analyzer, "a")
+}
+
+// TestExporteddocMissingPackageComment pins the package-level rule: a package
+// without any package comment is reported once, on its first file.
+func TestExporteddocMissingPackageComment(t *testing.T) {
+	if err := exporteddoc.Analyzer.Flags.Set("pkgs", "nopkgdoc"); err != nil {
+		t.Fatal(err)
+	}
+	defer exporteddoc.Analyzer.Flags.Set("pkgs", exporteddoc.DefaultPackages)
+	analyzertest.Run(t, ".", exporteddoc.Analyzer, "nopkgdoc")
+}
+
+// TestExporteddocSkipsOtherPackages pins the scoping: a package outside the
+// configured set reports nothing even though it exports bare identifiers.
+func TestExporteddocSkipsOtherPackages(t *testing.T) {
+	if err := exporteddoc.Analyzer.Flags.Set("pkgs", "not-this-package"); err != nil {
+		t.Fatal(err)
+	}
+	defer exporteddoc.Analyzer.Flags.Set("pkgs", exporteddoc.DefaultPackages)
+	analyzertest.Run(t, ".", exporteddoc.Analyzer, "scoped")
+}

@@ -1,0 +1,86 @@
+// Package a exercises the exporteddoc rule.
+package a
+
+// Documented is a struct whose fields show every accepted comment form.
+type Documented struct {
+	// Field carries a doc comment.
+	Field int
+	Count int // Count carries a trailing comment instead.
+	//lint:nodoc internal scaffolding surfaced for tests only
+	Escaped int
+	Bare    int // want `exported field Bare of Documented has no doc comment`
+
+	unexported int
+}
+
+type Undocumented int // want `exported type Undocumented has no doc comment`
+
+// The article form is accepted too.
+type Article int // want `doc comment for type Article should start with "Article"`
+
+// A Prefixed type uses an article before its own name.
+type Prefixed int
+
+//lint:nodoc deliberately undocumented
+type EscapedType int
+
+type hidden struct {
+	Exported int // unexported struct: exported fields are unreachable, not checked
+}
+
+// DoSomething runs the documented path.
+func DoSomething() {}
+
+func Undoc() {} // want `exported function Undoc has no doc comment`
+
+// wrong opening words entirely.
+func Misdescribed() {} // want `doc comment for function Misdescribed should start with "Misdescribed"`
+
+//lint:nodoc trivial forwarder
+func EscapedFunc() {}
+
+func helper() {}
+
+// Method carries a doc comment.
+func (Documented) Method() {}
+
+func (Documented) Undoc2() {} // want `exported method Documented.Undoc2 has no doc comment`
+
+func (*Documented) Undoc3() {} // want `exported method Documented.Undoc3 has no doc comment`
+
+func (Documented) unexportedMethod() {}
+
+func (hidden) Reachable() {} // unexported receiver: not part of the doc surface
+
+// Grouped constants are covered by the group comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const Lone = 3 // want `exported const Lone has no doc comment`
+
+const (
+	LoneInGroup = 4 // want `exported const LoneInGroup has no doc comment`
+	// DocInGroup carries its own doc comment.
+	DocInGroup = 5
+	Trailing   = 6 // Trailing carries a trailing comment.
+	//lint:nodoc escape hatch inside a group
+	EscapedInGroup = 7
+	internalOnly   = 8
+)
+
+var Global int // want `exported var Global has no doc comment`
+
+// Vars grouped under one comment are covered like consts.
+var (
+	VarA int
+	VarB int
+)
+
+func init() {
+	helper()
+	Documented{}.unexportedMethod()
+	hidden{}.Reachable()
+	_ = internalOnly
+}

@@ -1,0 +1,4 @@
+package nopkgdoc // want `package nopkgdoc has no package comment`
+
+// Value is documented, so only the package comment is missing.
+const Value = 1

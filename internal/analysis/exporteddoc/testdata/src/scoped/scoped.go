@@ -1,0 +1,5 @@
+package scoped
+
+type Undocumented int
+
+func Undoc() {}

@@ -9,6 +9,7 @@ import (
 
 	"memdep/internal/analysis/arenaescape"
 	"memdep/internal/analysis/ctxflow"
+	"memdep/internal/analysis/exporteddoc"
 	"memdep/internal/analysis/fieldalign"
 	"memdep/internal/analysis/guardedby"
 	"memdep/internal/analysis/hotalloc"
@@ -22,6 +23,7 @@ func All() []*xanalysis.Analyzer {
 	return []*xanalysis.Analyzer{
 		arenaescape.Analyzer,
 		ctxflow.Analyzer,
+		exporteddoc.Analyzer,
 		fieldalign.Analyzer,
 		guardedby.Analyzer,
 		hotalloc.Analyzer,

@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// OverloadError is returned by Limiter.Acquire when both the in-flight
+// budget and the wait queue are full.  HTTP handlers map it to
+// 429 Too Many Requests with a Retry-After header, the backpressure signal
+// that tells well-behaved clients to slow down instead of piling on.
+type OverloadError struct {
+	// RetryAfter is a coarse estimate of when capacity may free up, derived
+	// from the queue depth; it is a hint, not a reservation.
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("overloaded: in-flight budget and queue are full (retry after %s)", e.RetryAfter)
+}
+
+// Limiter bounds concurrent admissions: up to MaxInflight requests run at
+// once, up to MaxQueue more wait their turn, and everything beyond that is
+// rejected immediately with an OverloadError.  A nil *Limiter admits
+// everything, which is how the standalone server keeps its historical
+// unbounded behavior.
+type Limiter struct {
+	inflight chan struct{}
+	maxQueue int
+
+	queued   atomic.Int64
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// LimiterStats is a point-in-time snapshot of a Limiter's counters, served
+// under /v1/statz.
+type LimiterStats struct {
+	MaxInflight int    `json:"max_inflight"` // MaxInflight echoes the configured concurrency bound.
+	MaxQueue    int    `json:"max_queue"`    // MaxQueue echoes the configured queue bound.
+	InFlight    int    `json:"in_flight"`    // InFlight is the number of currently admitted requests.
+	Queued      int    `json:"queued"`       // Queued is the number of requests waiting for a slot.
+	Admitted    uint64 `json:"admitted"`     // Admitted counts successful Acquires since construction.
+	Rejected    uint64 `json:"rejected"`     // Rejected counts overload rejections since construction.
+}
+
+// NewLimiter builds a limiter admitting maxInflight concurrent requests
+// with a wait queue of maxQueue.  maxInflight <= 0 returns nil: unlimited.
+// maxQueue < 0 is treated as 0 (no queue: reject the moment the in-flight
+// budget is full).
+func NewLimiter(maxInflight, maxQueue int) *Limiter {
+	if maxInflight <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{inflight: make(chan struct{}, maxInflight), maxQueue: maxQueue}
+}
+
+// Acquire admits the caller, blocking in the bounded queue when the
+// in-flight budget is full.  It returns the release function the caller
+// must invoke when its request finishes, or an error: an *OverloadError
+// when the queue is full too, the context's error if the caller gave up
+// while queued.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	if l == nil {
+		return func() {}, nil
+	}
+	select {
+	case l.inflight <- struct{}{}:
+		l.admitted.Add(1)
+		return l.release, nil
+	default:
+	}
+	// The budget is full: take a queue slot or reject.
+	for {
+		q := l.queued.Load()
+		if int(q) >= l.maxQueue {
+			l.rejected.Add(1)
+			return nil, &OverloadError{RetryAfter: l.retryAfter(q)}
+		}
+		if l.queued.CompareAndSwap(q, q+1) {
+			break
+		}
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.inflight <- struct{}{}:
+		l.admitted.Add(1)
+		return l.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (l *Limiter) release() { <-l.inflight }
+
+// retryAfter estimates the backoff to advertise: one second per full
+// queue's worth of waiters ahead of the rejected caller, capped at 30s.
+func (l *Limiter) retryAfter(queued int64) time.Duration {
+	d := time.Second * time.Duration(1+int(queued)/cap(l.inflight))
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// Stats snapshots the limiter.  A nil limiter returns the zero snapshot.
+func (l *Limiter) Stats() LimiterStats {
+	if l == nil {
+		return LimiterStats{}
+	}
+	return LimiterStats{
+		MaxInflight: cap(l.inflight),
+		MaxQueue:    l.maxQueue,
+		InFlight:    len(l.inflight),
+		Queued:      int(l.queued.Load()),
+		Admitted:    l.admitted.Load(),
+		Rejected:    l.rejected.Load(),
+	}
+}

@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLimiterNilAdmitsEverything(t *testing.T) {
+	var l *Limiter
+	for i := 0; i < 100; i++ {
+		release, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("nil limiter rejected: %v", err)
+		}
+		release()
+	}
+	if s := l.Stats(); s != (LimiterStats{}) {
+		t.Fatalf("nil limiter stats = %+v, want zero", s)
+	}
+}
+
+func TestLimiterUnlimitedConstructor(t *testing.T) {
+	if NewLimiter(0, 10) != nil {
+		t.Fatal("NewLimiter(0, _) should return the nil (unlimited) limiter")
+	}
+	if NewLimiter(-1, 10) != nil {
+		t.Fatal("NewLimiter(-1, _) should return the nil (unlimited) limiter")
+	}
+}
+
+func TestLimiterRejectsWhenSaturated(t *testing.T) {
+	l := NewLimiter(1, 0)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Acquire(context.Background())
+	var oerr *OverloadError
+	if !errors.As(err, &oerr) {
+		t.Fatalf("saturated Acquire returned %v, want *OverloadError", err)
+	}
+	if oerr.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", oerr.RetryAfter)
+	}
+	release()
+	release2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	release2()
+	s := l.Stats()
+	if s.Admitted != 2 || s.Rejected != 1 {
+		t.Fatalf("stats = %+v, want admitted=2 rejected=1", s)
+	}
+}
+
+func TestLimiterQueuesThenAdmits(t *testing.T) {
+	l := NewLimiter(1, 1)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r2, err := l.Acquire(context.Background())
+		if err == nil {
+			r2()
+		}
+		got <- err
+	}()
+	// Give the queued acquirer time to park, then free the slot.
+	time.Sleep(20 * time.Millisecond)
+	release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued Acquire returned %v, want admission", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued Acquire never completed")
+	}
+}
+
+func TestLimiterQueueRespectsContext(t *testing.T) {
+	l := NewLimiter(1, 1)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx)
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled queued Acquire returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled queued Acquire never returned")
+	}
+	if q := l.Stats().Queued; q != 0 {
+		t.Fatalf("queued = %d after cancellation, want 0", q)
+	}
+}

@@ -1,0 +1,247 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for TTL tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// fakeProbe reports health per worker URL.
+type fakeProbe struct {
+	mu   sync.Mutex
+	down map[string]bool
+}
+
+func (p *fakeProbe) probe(_ context.Context, url string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down[url] {
+		return errors.New("down")
+	}
+	return nil
+}
+
+func (p *fakeProbe) setDown(url string, down bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down == nil {
+		p.down = map[string]bool{}
+	}
+	p.down[url] = down
+}
+
+func newTestRegistry(t *testing.T) (*Registry, *fakeClock, *fakeProbe) {
+	t.Helper()
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	probe := &fakeProbe{}
+	reg := NewRegistry(RegistryConfig{TTL: 10 * time.Second, Probe: probe.probe, Now: clock.Now})
+	return reg, clock, probe
+}
+
+func TestRegistryRegisterValidation(t *testing.T) {
+	reg, _, _ := newTestRegistry(t)
+	if err := reg.Register("", "http://x:1"); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := reg.Register("w1", "not a url"); err == nil {
+		t.Fatal("relative url accepted")
+	}
+	if err := reg.Register("w1", "http://x:1"); err != nil {
+		t.Fatalf("valid registration rejected: %v", err)
+	}
+	if reg.Len() != 1 || reg.Healthy() != 1 {
+		t.Fatalf("len=%d healthy=%d after one registration", reg.Len(), reg.Healthy())
+	}
+}
+
+func TestRegistryRouteAndFailover(t *testing.T) {
+	reg, _, _ := newTestRegistry(t)
+	for i := 1; i <= 3; i++ {
+		if err := reg.Register(fmt.Sprintf("w%d", i), fmt.Sprintf("http://w%d:1", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := `{"bench":"compress"}`
+	first, err := reg.Route(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Routing is sticky: the same key lands on the same worker.
+	again, err := reg.Route(key, nil)
+	if err != nil || again.Name != first.Name {
+		t.Fatalf("route(%q) = %q then %q (err %v), want sticky", key, first.Name, again.Name, err)
+	}
+	// Walking the failover order visits each worker exactly once.
+	tried := map[string]bool{}
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		w, err := reg.Route(key, tried)
+		if err != nil {
+			t.Fatalf("route attempt %d: %v", i, err)
+		}
+		if seen[w.Name] {
+			t.Fatalf("failover revisited %q", w.Name)
+		}
+		seen[w.Name] = true
+		tried[w.Name] = true
+	}
+	if _, err := reg.Route(key, tried); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("exhausted failover returned %v, want ErrNoWorkers", err)
+	}
+}
+
+func TestRegistryReportFailureDemotes(t *testing.T) {
+	reg, _, _ := newTestRegistry(t)
+	reg.Register("w1", "http://w1:1")
+	reg.Register("w2", "http://w2:1")
+	key := `{"bench":"compress"}`
+	w, _ := reg.Route(key, nil)
+	reg.ReportFailure(w.Name)
+	if reg.Healthy() != 1 {
+		t.Fatalf("healthy=%d after failure report, want 1", reg.Healthy())
+	}
+	other, err := reg.Route(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Name == w.Name {
+		t.Fatalf("demoted worker %q still routed to", w.Name)
+	}
+	// Re-registration (the heartbeat) revives it.
+	reg.Register(w.Name, "http://"+w.Name+":1")
+	if reg.Healthy() != 2 {
+		t.Fatalf("healthy=%d after revival, want 2", reg.Healthy())
+	}
+}
+
+func TestRegistryHealthCheckTransitions(t *testing.T) {
+	reg, clock, probe := newTestRegistry(t)
+	reg.Register("w1", "http://w1:1")
+	reg.Register("w2", "http://w2:1")
+
+	probe.setDown("http://w2:1", true)
+	clock.Advance(time.Second)
+	reg.CheckOnce(context.Background())
+	if reg.Healthy() != 1 || reg.Len() != 2 {
+		t.Fatalf("healthy=%d len=%d after failed probe, want 1/2", reg.Healthy(), reg.Len())
+	}
+
+	// Recovery before the TTL revives without losing the registration.
+	probe.setDown("http://w2:1", false)
+	clock.Advance(time.Second)
+	reg.CheckOnce(context.Background())
+	if reg.Healthy() != 2 {
+		t.Fatalf("healthy=%d after recovery, want 2", reg.Healthy())
+	}
+}
+
+func TestRegistryTTLPrunesSilentWorkers(t *testing.T) {
+	reg, clock, probe := newTestRegistry(t)
+	reg.Register("w1", "http://w1:1")
+	reg.Register("w2", "http://w2:1")
+	probe.setDown("http://w2:1", true)
+
+	clock.Advance(5 * time.Second)
+	reg.CheckOnce(context.Background())
+	if reg.Len() != 2 {
+		t.Fatalf("len=%d before TTL, want 2 (demoted but registered)", reg.Len())
+	}
+
+	clock.Advance(6 * time.Second) // 11s silent > 10s TTL
+	reg.CheckOnce(context.Background())
+	if reg.Len() != 1 {
+		t.Fatalf("len=%d after TTL, want the silent worker pruned", reg.Len())
+	}
+	if snap := reg.Snapshot(); len(snap) != 1 || snap[0].Name != "w1" {
+		t.Fatalf("snapshot = %+v, want only w1", snap)
+	}
+}
+
+func TestRegistryDeregisterDrains(t *testing.T) {
+	reg, _, _ := newTestRegistry(t)
+	reg.Register("w1", "http://w1:1")
+	if !reg.Deregister("w1") {
+		t.Fatal("deregister of a registered worker returned false")
+	}
+	if reg.Deregister("w1") {
+		t.Fatal("double deregister returned true")
+	}
+	if _, err := reg.Route("k", nil); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("route after drain returned %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestRegistryConcurrentUpdatesDuringRouting exercises the registry under
+// -race: routing, membership churn and health checks all at once.
+func TestRegistryConcurrentUpdatesDuringRouting(t *testing.T) {
+	reg, _, probe := newTestRegistry(t)
+	for i := 0; i < 4; i++ {
+		reg.Register(fmt.Sprintf("w%d", i), fmt.Sprintf("http://w%d:1", i))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("key-%d-%d", g, i)
+				if w, err := reg.Route(key, nil); err == nil && i%7 == 0 {
+					reg.ReportFailure(w.Name)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("w%d", i%4)
+			switch i % 3 {
+			case 0:
+				reg.Register(name, fmt.Sprintf("http://%s:1", name))
+			case 1:
+				reg.Deregister(name)
+			default:
+				probe.setDown(fmt.Sprintf("http://%s:1", name), i%2 == 0)
+				reg.CheckOnce(context.Background())
+			}
+			reg.Snapshot()
+			reg.Healthy()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

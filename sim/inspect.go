@@ -33,20 +33,20 @@ func (r TraceRequest) validate() (workloadMeta, error) {
 // TraceSummary reports the static shape and committed dynamic stream of a
 // benchmark.
 type TraceSummary struct {
-	Bench       string `json:"bench"`
-	Suite       string `json:"suite"`
-	Description string `json:"description"`
-	Scale       int    `json:"scale"`
+	Bench       string `json:"bench"`       // Bench is the workload's canonical name.
+	Suite       string `json:"suite"`       // Suite is the benchmark family the workload belongs to.
+	Description string `json:"description"` // Description is the workload's one-line synopsis.
+	Scale       int    `json:"scale"`       // Scale is the effective iteration-scale factor.
 
-	StaticInstructions int `json:"static_instructions"`
-	StaticLoads        int `json:"static_loads"`
-	StaticStores       int `json:"static_stores"`
+	StaticInstructions int `json:"static_instructions"` // StaticInstructions counts instructions in the program image.
+	StaticLoads        int `json:"static_loads"`        // StaticLoads counts static load instructions.
+	StaticStores       int `json:"static_stores"`       // StaticStores counts static store instructions.
 
-	Instructions uint64 `json:"instructions"`
-	Loads        uint64 `json:"loads"`
-	Stores       uint64 `json:"stores"`
-	Branches     uint64 `json:"branches"`
-	Tasks        uint64 `json:"tasks"`
+	Instructions uint64 `json:"instructions"` // Instructions counts committed dynamic instructions.
+	Loads        uint64 `json:"loads"`        // Loads counts committed dynamic loads.
+	Stores       uint64 `json:"stores"`       // Stores counts committed dynamic stores.
+	Branches     uint64 `json:"branches"`     // Branches counts committed dynamic branches.
+	Tasks        uint64 `json:"tasks"`        // Tasks counts committed Multiscalar tasks.
 }
 
 // AvgTaskSize returns the average dynamic task size in instructions.
@@ -188,12 +188,12 @@ type WindowRequest struct {
 
 // WindowResult reports the dependence statistics of one window size.
 type WindowResult struct {
-	WindowSize       int     `json:"window_size"`
-	Loads            uint64  `json:"loads"`
-	Misspeculations  uint64  `json:"misspeculations"`
-	MisspecsPerLoad  float64 `json:"misspecs_per_load"`
-	StaticPairs      int     `json:"static_pairs"`
-	PairsForCoverage int     `json:"pairs_for_coverage"`
+	WindowSize       int     `json:"window_size"`        // WindowSize is the instruction window size analysed.
+	Loads            uint64  `json:"loads"`              // Loads counts loads observed in the window stream.
+	Misspeculations  uint64  `json:"misspeculations"`    // Misspeculations counts dependence violations at this window size.
+	MisspecsPerLoad  float64 `json:"misspecs_per_load"`  // MisspecsPerLoad is Misspeculations per load.
+	StaticPairs      int     `json:"static_pairs"`       // StaticPairs counts distinct static store→load pairs observed.
+	PairsForCoverage int     `json:"pairs_for_coverage"` // PairsForCoverage is how many top pairs cover 99.9% of violations.
 	// DDCMissRate maps DDC size to its miss percentage.
 	DDCMissRate map[int]float64 `json:"ddc_miss_rate,omitempty"`
 	// Pairs lists the observed static dependences by decreasing frequency,

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"memdep/internal/memdep"
@@ -87,6 +88,23 @@ func (r Request) Normalize() Request {
 		r.MDPTWays = eff.Ways
 	}
 	return r
+}
+
+// CanonicalJSON returns the canonical JSON encoding of the normalized
+// request: two requests describing the same simulation -- whatever spelling
+// their enums used and whichever defaulted fields they left zero -- encode
+// identically.  It is the request's routing and sharing identity: the fleet
+// coordinator consistent-hashes it to pick the owning worker, which keeps
+// repeats of a request on the worker whose session cache (and persistent
+// store) already holds the result.
+func (r Request) CanonicalJSON() string {
+	data, err := json.Marshal(r.Normalize())
+	if err != nil {
+		// A Request holds only strings, numbers and slices of both; the
+		// encoder cannot fail on it.
+		panic(err)
+	}
+	return string(data)
 }
 
 func defaultedPolicy(p Policy) Policy {

@@ -29,94 +29,95 @@ func (b Breakdown) Percent(predicted, actual int) float64 {
 
 // MemDepStats mirrors the MDPT/MDST system counters.
 type MemDepStats struct {
-	LoadQueries             uint64 `json:"load_queries"`
-	LoadsPredictedDependent uint64 `json:"loads_predicted_dependent"`
-	LoadsMadeToWait         uint64 `json:"loads_made_to_wait"`
-	LoadsSignalledEarly     uint64 `json:"loads_signalled_early"`
-	StoreQueries            uint64 `json:"store_queries"`
-	StoresSignalled         uint64 `json:"stores_signalled"`
-	LoadsReleasedByStore    uint64 `json:"loads_released_by_store"`
-	LoadsReleasedStale      uint64 `json:"loads_released_stale"`
-	Misspeculations         uint64 `json:"misspeculations"`
-	ESyncFiltered           uint64 `json:"esync_filtered"`
+	LoadQueries             uint64 `json:"load_queries"`              // LoadQueries counts MDPT lookups made by issuing loads.
+	LoadsPredictedDependent uint64 `json:"loads_predicted_dependent"` // LoadsPredictedDependent counts loads the MDPT predicted dependent.
+	LoadsMadeToWait         uint64 `json:"loads_made_to_wait"`        // LoadsMadeToWait counts predicted loads that allocated an MDST entry and waited.
+	LoadsSignalledEarly     uint64 `json:"loads_signalled_early"`     // LoadsSignalledEarly counts loads whose producing store had already signalled.
+	StoreQueries            uint64 `json:"store_queries"`             // StoreQueries counts MDPT lookups made by issuing stores.
+	StoresSignalled         uint64 `json:"stores_signalled"`          // StoresSignalled counts stores that signalled a waiting dependence.
+	LoadsReleasedByStore    uint64 `json:"loads_released_by_store"`   // LoadsReleasedByStore counts waiting loads released by their store's signal.
+	LoadsReleasedStale      uint64 `json:"loads_released_stale"`      // LoadsReleasedStale counts waiting loads released without a matching signal.
+	Misspeculations         uint64 `json:"misspeculations"`           // Misspeculations counts dependence violations the predictor failed to avoid.
+	ESyncFiltered           uint64 `json:"esync_filtered"`            // ESyncFiltered counts waits the ESYNC policy's confidence filter suppressed.
 }
 
 // ARBStats mirrors the address resolution buffer counters.
 type ARBStats struct {
-	Loads      uint64 `json:"loads"`
-	Stores     uint64 `json:"stores"`
-	Violations uint64 `json:"violations"`
-	StallsFull uint64 `json:"stalls_full"`
+	Loads      uint64 `json:"loads"`       // Loads counts load addresses resolved through the ARB.
+	Stores     uint64 `json:"stores"`      // Stores counts store addresses resolved through the ARB.
+	Violations uint64 `json:"violations"`  // Violations counts store→load order violations the ARB detected.
+	StallsFull uint64 `json:"stalls_full"` // StallsFull counts cycles an access stalled on a full ARB.
 }
 
 // CacheStats mirrors the memory hierarchy counters.
 type CacheStats struct {
-	InstrAccesses uint64 `json:"instr_accesses"`
-	InstrMisses   uint64 `json:"instr_misses"`
-	DataAccesses  uint64 `json:"data_accesses"`
-	DataMisses    uint64 `json:"data_misses"`
-	BusTransfers  uint64 `json:"bus_transfers"`
-	BusWait       uint64 `json:"bus_wait"`
-	BankWait      uint64 `json:"bank_wait"`
+	InstrAccesses uint64 `json:"instr_accesses"` // InstrAccesses counts instruction-cache accesses.
+	InstrMisses   uint64 `json:"instr_misses"`   // InstrMisses counts instruction-cache misses.
+	DataAccesses  uint64 `json:"data_accesses"`  // DataAccesses counts data-cache accesses.
+	DataMisses    uint64 `json:"data_misses"`    // DataMisses counts data-cache misses.
+	BusTransfers  uint64 `json:"bus_transfers"`  // BusTransfers counts memory-bus block transfers.
+	BusWait       uint64 `json:"bus_wait"`       // BusWait accumulates cycles spent waiting for the bus.
+	BankWait      uint64 `json:"bank_wait"`      // BankWait accumulates cycles spent waiting on a busy cache bank.
 }
 
 // SequencerStats mirrors the task sequencer counters.
 type SequencerStats struct {
-	TaskDispatches   uint64  `json:"task_dispatches"`
-	Mispredictions   uint64  `json:"mispredictions"`
-	DescriptorMisses uint64  `json:"descriptor_misses"`
-	PredictorAcc     float64 `json:"predictor_accuracy"`
+	TaskDispatches   uint64  `json:"task_dispatches"`    // TaskDispatches counts tasks assigned to processing units.
+	Mispredictions   uint64  `json:"mispredictions"`     // Mispredictions counts next-task predictions that squashed.
+	DescriptorMisses uint64  `json:"descriptor_misses"`  // DescriptorMisses counts task-descriptor cache misses.
+	PredictorAcc     float64 `json:"predictor_accuracy"` // PredictorAcc is the next-task predictor hit rate in [0, 1].
 }
 
 // PairCount is one static store→load dependence pair with its observed event
 // count, annotated with the static instruction indices and disassembled text
 // so clients need no access to the program image.
 type PairCount struct {
-	StorePC    uint64 `json:"store_pc"`
-	LoadPC     uint64 `json:"load_pc"`
-	StoreIndex int    `json:"store_index"`
-	LoadIndex  int    `json:"load_index"`
-	Store      string `json:"store"`
-	Load       string `json:"load"`
-	Count      uint64 `json:"count"`
+	StorePC    uint64 `json:"store_pc"`    // StorePC is the store's program counter.
+	LoadPC     uint64 `json:"load_pc"`     // LoadPC is the load's program counter.
+	StoreIndex int    `json:"store_index"` // StoreIndex is the store's static instruction index.
+	LoadIndex  int    `json:"load_index"`  // LoadIndex is the load's static instruction index.
+	Store      string `json:"store"`       // Store is the store's disassembled text.
+	Load       string `json:"load"`        // Load is the load's disassembled text.
+	Count      uint64 `json:"count"`       // Count is how many times the pair's event occurred.
 }
 
 // Result is the response to one simulation Request.  Request echoes the
 // normalized request the result answers (defaults applied, enums
 // canonicalized, effective table geometry).
 type Result struct {
+	// Request echoes the normalized request this result answers.
 	Request Request `json:"request"`
 
 	// Timing.
-	Cycles int64   `json:"cycles"`
-	IPC    float64 `json:"ipc"`
+	Cycles int64   `json:"cycles"` // Cycles is the simulated execution time.
+	IPC    float64 `json:"ipc"`    // IPC is committed instructions per cycle.
 
 	// Committed work (identical across policies for the same work item).
-	Instructions uint64  `json:"instructions"`
-	Loads        uint64  `json:"loads"`
-	Stores       uint64  `json:"stores"`
-	Tasks        uint64  `json:"tasks"`
-	AvgTaskSize  float64 `json:"avg_task_size"`
+	Instructions uint64  `json:"instructions"`  // Instructions counts committed instructions.
+	Loads        uint64  `json:"loads"`         // Loads counts committed loads.
+	Stores       uint64  `json:"stores"`        // Stores counts committed stores.
+	Tasks        uint64  `json:"tasks"`         // Tasks counts committed Multiscalar tasks.
+	AvgTaskSize  float64 `json:"avg_task_size"` // AvgTaskSize is the mean dynamic instructions per task.
 
 	// Speculation outcomes.
-	Misspeculations         uint64  `json:"misspeculations"`
-	MisspecsPerLoad         float64 `json:"misspecs_per_load"`
-	Squashes                uint64  `json:"squashes"`
-	SquashedInstructions    uint64  `json:"squashed_instructions"`
-	LoadsWaited             uint64  `json:"loads_waited"`
-	WaitCycles              uint64  `json:"wait_cycles"`
-	FalseDependenceReleases uint64  `json:"false_dependence_releases"`
-	ARBBypasses             uint64  `json:"arb_bypasses"`
+	Misspeculations         uint64  `json:"misspeculations"`           // Misspeculations counts memory dependence violations.
+	MisspecsPerLoad         float64 `json:"misspecs_per_load"`         // MisspecsPerLoad is Misspeculations per committed load.
+	Squashes                uint64  `json:"squashes"`                  // Squashes counts task squashes triggered by violations.
+	SquashedInstructions    uint64  `json:"squashed_instructions"`     // SquashedInstructions counts instructions discarded by squashes.
+	LoadsWaited             uint64  `json:"loads_waited"`              // LoadsWaited counts loads the policy made wait for a store.
+	WaitCycles              uint64  `json:"wait_cycles"`               // WaitCycles accumulates cycles loads spent waiting.
+	FalseDependenceReleases uint64  `json:"false_dependence_releases"` // FalseDependenceReleases counts waits for dependences that never materialized.
+	ARBBypasses             uint64  `json:"arb_bypasses"`              // ARBBypasses counts loads satisfied by store-to-load forwarding.
 
 	// Breakdown classifies committed loads for Table 8 (meaningful for the
 	// predictor-driven policies).
 	Breakdown Breakdown `json:"breakdown"`
 
 	// Subsystem counters.
-	MemDep    MemDepStats    `json:"memdep"`
-	ARB       ARBStats       `json:"arb"`
-	Cache     CacheStats     `json:"cache"`
-	Sequencer SequencerStats `json:"sequencer"`
+	MemDep    MemDepStats    `json:"memdep"`    // MemDep is the MDPT/MDST predictor counters.
+	ARB       ARBStats       `json:"arb"`       // ARB is the address resolution buffer counters.
+	Cache     CacheStats     `json:"cache"`     // Cache is the memory hierarchy counters.
+	Sequencer SequencerStats `json:"sequencer"` // Sequencer is the task sequencer counters.
 
 	// DDCMissRate reports, for each size in Request.DDCSizes, the percentage
 	// of mis-speculations whose static pair missed in a DDC of that size.

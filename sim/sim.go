@@ -232,6 +232,7 @@ func (e FieldError) Error() string {
 // want per-field detail (the HTTP service renders them as structured JSON)
 // unwrap it with errors.As.
 type ValidationError struct {
+	// Fields lists the per-field failures, one entry per invalid field.
 	Fields []FieldError `json:"fields"`
 }
 

@@ -135,9 +135,9 @@ func (o SuiteOptions) Effective() SuiteOptions {
 // Table is a titled grid of string cells: the rendered form of one
 // experiment, matching the corresponding table or figure of the paper.
 type Table struct {
-	Title   string     `json:"title"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
+	Title   string     `json:"title"`   // Title is the table's heading.
+	Columns []string   `json:"columns"` // Columns is the header row.
+	Rows    [][]string `json:"rows"`    // Rows is the cell grid, one slice per row.
 	// Note is free-form text rendered under the table.
 	Note string `json:"note,omitempty"`
 }

@@ -13,8 +13,8 @@ import (
 // histogram: Weight relative units of store→load dependences at
 // (approximately) Dist dynamic instructions.
 type DistBucket struct {
-	Dist   int `json:"dist"`
-	Weight int `json:"weight"`
+	Dist   int `json:"dist"`   // Dist is the dependence distance in dynamic instructions.
+	Weight int `json:"weight"` // Weight is the bucket's relative share of dependences.
 }
 
 // SynthSpec parameterizes a synthetic workload (internal/synth): a seeded,
@@ -144,8 +144,8 @@ func (s *SynthSpec) CanonicalJSON() string {
 // benchmark of the committed synthetic suite, see Benchmarks) or Synth (an
 // inline synthetic-workload spec).
 type Workload struct {
-	Bench string     `json:"bench,omitempty"`
-	Synth *SynthSpec `json:"synth,omitempty"`
+	Bench string     `json:"bench,omitempty"` // Bench names a benchmark of the committed suite.
+	Synth *SynthSpec `json:"synth,omitempty"` // Synth is an inline synthetic-workload spec.
 }
 
 // Normalize returns the workload with synthetic defaults materialized.
